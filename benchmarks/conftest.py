@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure, prints the same rows/
+series the paper reports, and asserts the *shape* findings (who wins, by
+roughly what factor). Set ``REPRO_PRESET=full`` for paper-equivalent
+budgets; the default ``quick`` preset keeps the whole harness laptop-fast
+while preserving every qualitative conclusion.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return os.environ.get("REPRO_PRESET", "quick")
+
+
+@pytest.fixture(scope="session")
+def ctx(preset):
+    from repro.experiments import get_context
+    return get_context(preset)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

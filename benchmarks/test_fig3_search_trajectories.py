@@ -1,0 +1,32 @@
+"""Figure 3 benchmark: AE/RL/RS search trajectories on 128 nodes.
+
+Paper shape: AE reaches ~0.96 within ~50 min (here: the first third of the
+simulated wall time); RS plateaus at 0.93-0.94; RL starts with strong
+exploration and trails AE throughout most of the search.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_trajectories import run_fig3
+from repro.experiments.reporting import format_series
+
+
+def test_fig3_search_trajectories(benchmark, preset):
+    result = run_once(benchmark, run_fig3, preset, n_nodes=128, seed=7)
+
+    print("\nFigure 3 — search trajectories (moving-average reward)")
+    for name, (times, rewards) in result.trajectories.items():
+        print(format_series(times, rewards, label=f"  {name}"))
+
+    wall_min = result.trajectories["AE"][0][-1] / 60.0
+    third = wall_min / 3.0
+    # AE converges early to ~0.96+ (paper: 0.96 within 50 of 180 min).
+    assert result.reward_at("AE", third) > 0.955
+    # RS plateaus in the 0.93-0.94 band.
+    assert 0.92 < result.reward_at("RS", wall_min) < 0.945
+    # Ordering at the end: AE > RL > RS (paper Fig. 3).
+    ae_end = result.reward_at("AE", wall_min)
+    rl_end = result.reward_at("RL", wall_min)
+    rs_end = result.reward_at("RS", wall_min)
+    assert ae_end > rl_end > rs_end
+    # RL improves over its own start (feedback works).
+    assert rl_end > result.reward_at("RL", third) - 0.002

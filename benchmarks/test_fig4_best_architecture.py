@@ -1,0 +1,21 @@
+"""Figure 4 benchmark: the best AE-discovered architecture.
+
+Paper shape: the discovered architecture is a stacked LSTM with multiple
+skip connections ("one can observe the unusual nature of our network").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_best_architecture import run_fig4
+
+
+def test_fig4_best_architecture(benchmark, preset):
+    result = run_once(benchmark, run_fig4, preset)
+
+    print("\nFigure 4 — best AE-discovered architecture")
+    print(result.description)
+
+    # A meaningful network was found: at least one LSTM layer plus the
+    # constant head, and skip connections in use (paper Fig. 4 shows many).
+    assert result.n_active_layers >= 1
+    assert result.n_skip_connections >= 1
+    assert result.n_parameters > 1000

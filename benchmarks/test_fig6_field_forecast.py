@@ -1,0 +1,38 @@
+"""Figure 6 benchmark: sample field forecast for the week of 2015-06-14.
+
+Paper shape: all three systems capture the large-scale temperature
+structure; the POD-LSTM reproduces the large scales (its spectral content
+is limited to the retained POD modes) and is closest to the truth in the
+Eastern Pacific; CESM shows only qualitative agreement.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_field_forecast import run_fig6
+from repro.experiments.reporting import format_table
+
+import numpy as np
+
+
+def test_fig6_field_forecast(benchmark, preset):
+    result = run_once(benchmark, run_fig6, preset)
+
+    print(f"\nFigure 6 — field forecast, week of {result.date}")
+    rows = [[name, result.global_rmse[name],
+             result.eastern_pacific_rmse[name],
+             float(np.nanmin(field)), float(np.nanmax(field))]
+            for name, field in result.fields.items()]
+    print(format_table(["model", "global RMSE", "EP RMSE", "min T",
+                        "max T"], rows, float_fmt="{:.2f}"))
+
+    truth = result.fields["NOAA (truth)"]
+    for name, field in result.fields.items():
+        # Large-scale agreement: global pattern correlation is high.
+        mask = np.isfinite(truth)
+        corr = np.corrcoef(truth[mask], field[mask])[0, 1]
+        assert corr > 0.95, name
+        # Physically plausible temperature range.
+        assert np.nanmin(field) > -15 and np.nanmax(field) < 45, name
+
+    # The emulator beats CESM where it matters (Eastern Pacific).
+    assert (result.eastern_pacific_rmse["POD-LSTM"]
+            < result.eastern_pacific_rmse["CESM"])

@@ -1,0 +1,34 @@
+"""Figure 7 benchmark: temporal probes at three Eastern-Pacific points.
+
+Paper shape: HYCOM and POD-LSTM both track the observed series well
+("shown to perform equally well"); CESM makes clear errors because of its
+long-horizon formulation. Both data-driven systems capture the seasonal
+trend at each probe.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_probes import PROBES, run_fig7
+from repro.experiments.reporting import format_table
+
+
+def test_fig7_temporal_probes(benchmark, preset):
+    result = run_once(benchmark, run_fig7, preset)
+
+    print("\nFigure 7 — probe correlation/RMSE (2015-04 .. 2018-06)")
+    headers = ["model"] + [f"({lat:+.0f},{lon:.0f})" for lat, lon in PROBES]
+    rows = []
+    for name in result.rmse:
+        rows.append([name] + [
+            f"{result.correlation[name][p]:.2f}/{result.rmse[name][p]:.2f}"
+            for p in PROBES])
+    print(format_table(headers, rows))
+
+    mean = lambda d: sum(d[p] for p in PROBES) / len(PROBES)
+    # POD-LSTM and HYCOM both track the truth...
+    assert mean(result.correlation["POD-LSTM"]) > 0.55
+    assert mean(result.correlation["HYCOM"]) > 0.55
+    # ...and both beat CESM on average correlation and RMSE.
+    assert mean(result.correlation["POD-LSTM"]) > \
+        mean(result.correlation["CESM"])
+    assert mean(result.rmse["POD-LSTM"]) < mean(result.rmse["CESM"])
+    assert mean(result.rmse["HYCOM"]) < mean(result.rmse["CESM"])

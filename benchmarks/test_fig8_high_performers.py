@@ -1,0 +1,42 @@
+"""Figure 8 benchmark: unique high-performing architectures discovered.
+
+Paper shape: the number of unique architectures with reward above the
+threshold grows strongly with AE's node count (each doubling reaches the
+previous size's final count well before the wall); at the end of the
+search AE beats RL and RS comprehensively.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_scaling_architectures import run_fig8
+from repro.experiments.reporting import format_table
+
+
+def test_fig8_high_performers(benchmark, preset):
+    node_counts = (33, 64, 128, 256, 512) if preset == "full" \
+        else (33, 64, 128)
+    result = run_once(benchmark, run_fig8, preset, node_counts=node_counts,
+                      seed=23)
+
+    print("\nFigure 8 — unique architectures with reward > 0.96")
+    rows = [[n, c["AE"], c["RL"], c["RS"]]
+            for n, c in sorted(result.final_counts.items())]
+    print(format_table(["nodes", "AE", "RL", "RS"], rows))
+
+    sizes = sorted(result.final_counts)
+    # (a) AE's unique count grows with node count.
+    ae_counts = [result.final_counts[n]["AE"] for n in sizes]
+    assert all(b > a for a, b in zip(ae_counts, ae_counts[1:]))
+    # Doubling nodes reaches the smaller run's final count early.
+    for small, big in zip(sizes, sizes[1:]):
+        target = result.final_counts[small]["AE"]
+        times, counts = result.ae_curves[big]
+        reached = times[np.searchsorted(counts, target)] if \
+            counts.size and counts[-1] >= target else np.inf
+        assert reached < 0.8 * times[-1], (small, big)
+    # (b) AE beats RL and RS comprehensively at every size.
+    for n in sizes:
+        c = result.final_counts[n]
+        assert c["AE"] > c["RL"], n
+        assert c["AE"] > c["RS"], n

@@ -1,0 +1,39 @@
+"""Figure 9 benchmark: 10-seed variability of AE and RL on 128 nodes.
+
+Paper shape: AE's reward and node-utilization bands are tight across
+seeds ("the optimal performance of this search algorithm was not
+fortuitous"); RL's reward stays below AE's for every seed and its
+utilization is consistently low.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_variability import run_fig9
+from repro.experiments.reporting import describe_distribution
+
+
+def test_fig9_variability(benchmark, preset):
+    reps = 10 if preset == "full" else 5
+    result = run_once(benchmark, run_fig9, preset, n_nodes=128,
+                      n_repetitions=reps, seed=31)
+
+    print("\nFigure 9 — seed-to-seed variability (128 nodes)")
+    for name in ("AE", "RL"):
+        print(describe_distribution(result.final_rewards[name],
+                                    label=f"  {name} final reward"))
+        print(describe_distribution(result.utilizations[name],
+                                    label=f"  {name} utilization"))
+
+    ae_mean, ae_band = result.reward_band("AE")
+    rl_mean, rl_band = result.reward_band("RL")
+    # AE is reliably strong: tight 2-sigma band around a high mean.
+    assert ae_mean > 0.955
+    assert ae_band < 0.02
+    # AE beats RL for every seed (paper: reward curves never cross).
+    assert result.final_rewards["AE"].min() > \
+        result.final_rewards["RL"].max()
+    # Utilization separation holds across all seeds.
+    assert result.utilizations["AE"].min() > 0.85
+    assert result.utilizations["RL"].max() < 0.65
+    # AE does more work than RL in every repetition.
+    assert result.n_evaluations["AE"].min() > \
+        1.4 * result.n_evaluations["RL"].max()

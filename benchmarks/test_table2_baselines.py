@@ -1,0 +1,52 @@
+"""Table II benchmark: R^2 of every forecasting method, train and test.
+
+Paper shape reproduced here: the NAS architecture is the best LSTM on the
+training period (paper: 0.985) and every LSTM beats the linear baseline
+in-sample; the tree ensembles overfit (high train R^2, large test drop).
+
+Documented deviation (EXPERIMENTS.md): on the synthetic archive the
+classical baselines do not *collapse* on the 1990-2018 test period the
+way they do on real SST (paper: linear 0.17, XGBoost -0.06, RF 0.00) —
+the synthetic modal dynamics are smoother than the real ocean's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2_baselines import PAPER_TABLE2, run_table2
+from repro.experiments.reporting import format_table
+
+
+def test_table2_baselines(benchmark, preset):
+    result = run_once(benchmark, run_table2, preset)
+
+    print("\nTable II — forecast R^2 (uniform per-mode average)")
+    rows = [[name, tr, te, *PAPER_TABLE2.get(name, ("-", "-"))]
+            for name, (tr, te) in result.scores.items()]
+    print(format_table(["model", "train", "test", "paper train",
+                        "paper test"], rows))
+
+    scores = result.scores
+    lstm_names = [n for n in scores if n.startswith("LSTM-")]
+
+    # NAS-POD-LSTM is the best LSTM-family model on the training period
+    # (the paper's headline: automated design beats manual design).
+    nas_train = scores["NAS-POD-LSTM"][0]
+    assert all(nas_train >= scores[n][0] - 0.015 for n in lstm_names)
+    if preset == "full":
+        assert nas_train > 0.93  # paper: 0.985
+
+    # The NAS LSTM beats the linear baseline in-sample (paper: 0.985 vs
+    # 0.801); the manual variants need the full training budget for this.
+    assert scores["NAS-POD-LSTM"][0] > scores["Linear"][0] - 0.01
+    if preset == "full":
+        for name in lstm_names:
+            assert scores[name][0] > scores["Linear"][0] - 0.05, name
+
+    # Tree ensembles overfit: large train-test generalization gap,
+    # bigger than the linear model's gap (paper: XGB 0.97 -> -0.06).
+    rf_gap = scores["Random Forest"][0] - scores["Random Forest"][1]
+    lin_gap = scores["Linear"][0] - scores["Linear"][1]
+    assert rf_gap > lin_gap
+
+    # Everyone degrades out of distribution (paper: all columns drop).
+    for name, (train, test) in scores.items():
+        assert test < train, name

@@ -1,0 +1,58 @@
+"""Quickstart: train a POD-LSTM emulator and forecast sea-surface
+temperature.
+
+Runs in under a minute on a laptop. Steps:
+
+1. generate the synthetic NOAA-OI-SST-shaped archive (4-degree grid);
+2. fit the emulator on the 1981-1989 training period (POD compression,
+   per-mode scaling, windowed seq2seq LSTM training);
+3. score windowed forecasts on held-out test years;
+4. reconstruct a full temperature field from a forecast.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PODLSTMEmulator, load_sst_dataset
+from repro.nn.training import Trainer
+
+
+def main() -> None:
+    print("Loading the synthetic SST archive (4-degree grid) ...")
+    dataset = load_sst_dataset(degrees=4.0, seed=0)
+    train = dataset.training_snapshots()
+    print(f"  training snapshots: {train.shape[1]} weeks x "
+          f"{train.shape[0]} ocean cells")
+
+    print("Fitting POD-LSTM emulator (Nr=5 modes, K=8 week windows) ...")
+    emulator = PODLSTMEmulator(
+        n_modes=5, window=8,
+        trainer=Trainer(epochs=60, batch_size=64, learning_rate=0.002))
+    history = emulator.fit(train, rng=0)
+    print(f"  POD captures {emulator.pipeline.energy_fraction:.1%} of the "
+          f"variance with 5 modes (paper: ~92%)")
+    print(f"  validation R^2 after training: {history.final_val_r2:.3f}")
+
+    print("Scoring on unseen test years (1990s) ...")
+    test_idx = np.asarray(dataset.test_indices)[:260]  # five years
+    test = dataset.snapshots(test_idx)
+    print(f"  windowed forecast R^2: {emulator.score(test):.3f}")
+
+    print("Reconstructing a forecast field ...")
+    times, fields = emulator.forecast_fields(test, horizon=1)
+    forecast = fields[:, 0]
+    truth = test[:, times[0]]
+    rmse = float(np.sqrt(np.mean((forecast - truth) ** 2)))
+    date = dataset.calendar.date_of(int(test_idx[0] + times[0]))
+    print(f"  week of {date}: global ocean RMSE = {rmse:.2f} deg C")
+    grid_field = dataset.generator.unflatten(forecast)
+    print(f"  forecast field range: {np.nanmin(grid_field):.1f} .. "
+          f"{np.nanmax(grid_field):.1f} deg C")
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

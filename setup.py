@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Kept for legacy editable installs in offline environments without the
+# `wheel` package; all metadata lives in pyproject.toml.
+setup()

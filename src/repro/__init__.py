@@ -1,0 +1,44 @@
+"""repro — reproduction of "Recurrent Neural Network Architecture Search
+for Geophysical Emulation" (Maulik et al., SC 2020).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.data` — synthetic NOAA-OI-SST-shaped archive;
+* :mod:`repro.pod` — proper orthogonal decomposition;
+* :mod:`repro.nn` — NumPy deep-learning micro-framework;
+* :mod:`repro.nas` — stacked-LSTM architecture search (AE / RL / RS);
+* :mod:`repro.hpc` — simulated Theta cluster (scaling experiments);
+* :mod:`repro.baselines` — classical and manual-LSTM baselines;
+* :mod:`repro.comparators` — simulated CESM / HYCOM process models;
+* :mod:`repro.forecast` — the POD-LSTM emulator (primary API);
+* :mod:`repro.experiments` — drivers for every paper table and figure.
+"""
+
+from repro.data import SSTDataset, load_sst_dataset
+from repro.forecast import PODCoefficientPipeline, PODLSTMEmulator
+from repro.nas import (
+    AgingEvolution,
+    DistributedRL,
+    RandomSearch,
+    StackedLSTMSpace,
+    SurrogateEvaluator,
+    build_network,
+)
+from repro.pod import fit_pod
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SSTDataset",
+    "load_sst_dataset",
+    "PODCoefficientPipeline",
+    "PODLSTMEmulator",
+    "AgingEvolution",
+    "DistributedRL",
+    "RandomSearch",
+    "StackedLSTMSpace",
+    "SurrogateEvaluator",
+    "build_network",
+    "fit_pod",
+    "__version__",
+]

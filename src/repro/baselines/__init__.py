@@ -1,0 +1,27 @@
+"""Classical forecasting baselines (paper Sec. IV-C, Table II).
+
+The paper compares the NAS-discovered POD-LSTM against linear, XGBoost
+and random-forest regressors (via the fireTS non-autoregressive wrapper
+around scikit-learn-style estimators) and against manually designed
+stacked LSTMs. Neither scikit-learn nor XGBoost is available offline, so
+the estimators are implemented from scratch: multi-output least squares,
+CART regression trees, bootstrap random forests, and gradient-boosted
+trees, plus the fireTS-style direct (non-autoregressive) NARX wrapper.
+"""
+
+from repro.baselines.linear import LinearRegressor
+from repro.baselines.tree import DecisionTreeRegressor
+from repro.baselines.forest import RandomForestRegressor
+from repro.baselines.gbt import GradientBoostingRegressor
+from repro.baselines.narx import DirectNARXForecaster
+from repro.baselines.manual_lstm import build_manual_lstm, MANUAL_LSTM_WIDTHS
+
+__all__ = [
+    "LinearRegressor",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "DirectNARXForecaster",
+    "build_manual_lstm",
+    "MANUAL_LSTM_WIDTHS",
+]

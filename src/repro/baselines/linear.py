@@ -1,0 +1,56 @@
+"""Multi-output linear least-squares regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["LinearRegressor"]
+
+
+class LinearRegressor:
+    """Ordinary least squares ``y = x W + b`` (multi-output).
+
+    Solved with ``scipy.linalg.lstsq`` (SVD-based, handles rank
+    deficiency). ``ridge`` adds optional L2 regularization via augmented
+    rows — the default 0 matches scikit-learn's plain ``LinearRegression``
+    the paper deploys through fireTS.
+    """
+
+    def __init__(self, ridge: float = 0.0) -> None:
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.ridge = float(ridge)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegressor":
+        x = check_matrix(x, name="x")
+        y = check_matrix(y, name="y")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+        x_mean = x.mean(axis=0)
+        y_mean = y.mean(axis=0)
+        xc = x - x_mean
+        yc = y - y_mean
+        if self.ridge > 0.0:
+            n_feat = x.shape[1]
+            xc = np.vstack([xc, np.sqrt(self.ridge) * np.eye(n_feat)])
+            yc = np.vstack([yc, np.zeros((n_feat, y.shape[1]))])
+        coef, *_ = sla.lstsq(xc, yc)
+        self.coef_ = coef
+        self.intercept_ = y_mean - x_mean @ coef
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("predict called before fit")
+        x = check_matrix(x, name="x")
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[1]} features, model expects "
+                f"{self.coef_.shape[0]}")
+        return x @ self.coef_ + self.intercept_

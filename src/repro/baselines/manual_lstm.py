@@ -1,0 +1,36 @@
+"""Manually designed stacked LSTM baselines (paper Table II).
+
+The paper's manual variants scan hidden width over {40, 80, 120, 200} in
+one- and five-layer configurations, trained for 100 epochs — illustrating
+the trial-and-error burden NAS removes.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import LSTMLayer
+from repro.nn.model import Network
+from repro.utils.validation import check_positive_int
+
+__all__ = ["build_manual_lstm", "MANUAL_LSTM_WIDTHS"]
+
+#: Hidden widths scanned in the paper's manual baseline (Table II columns
+#: LSTM-40 .. LSTM-200).
+MANUAL_LSTM_WIDTHS = (40, 80, 120, 200)
+
+
+def build_manual_lstm(width: int, n_layers: int, *, input_dim: int = 5,
+                      output_dim: int = 5, rng=None) -> Network:
+    """A plain stacked LSTM: ``n_layers`` LSTM(width) layers plus the
+    LSTM(output_dim) head (same head convention as the search space).
+
+    Paper configurations use ``n_layers`` of 1 or 5.
+    """
+    width = check_positive_int(width, name="width")
+    n_layers = check_positive_int(n_layers, name="n_layers")
+    net = Network(input_dim=input_dim, rng=rng)
+    current = "input"
+    for k in range(1, n_layers + 1):
+        current = net.add_node(f"lstm_{k}", LSTMLayer(width), [current])
+    net.add_node("output", LSTMLayer(output_dim), [current])
+    net.set_output("output")
+    return net

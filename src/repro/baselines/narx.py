@@ -1,0 +1,62 @@
+"""fireTS-style direct (non-autoregressive) NARX forecaster.
+
+Paper Sec. IV-C: "if our target is given by a(t+1)..a(t+K), we fit a
+data-driven regressor using information from a(t-1)..a(t-K)", with the
+past always taken from true measurements (no recursion on model output).
+``DirectNARXForecaster`` wraps any flat-vector regressor with a
+``fit(x, y)`` / ``predict(x)`` interface — the from-scratch linear,
+random-forest and gradient-boosting estimators here, mirroring how the
+paper drives scikit-learn/XGBoost through fireTS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.windowing import WindowedExamples
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["DirectNARXForecaster"]
+
+
+class DirectNARXForecaster:
+    """Flatten windowed sequences into tabular regression.
+
+    Input windows ``(n, K, F)`` become feature rows ``(n, K*F)``; output
+    windows likewise. The wrapped regressor sees exactly the tabular
+    problem fireTS constructs.
+    """
+
+    def __init__(self, regressor, window: int) -> None:
+        self.regressor = regressor
+        self.window = check_positive_int(window, name="window")
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _flatten(tensor: np.ndarray) -> np.ndarray:
+        if tensor.ndim != 3:
+            raise ValueError(
+                f"expected (n, K, F) windows, got shape {tensor.shape}")
+        n = tensor.shape[0]
+        return np.ascontiguousarray(tensor.reshape(n, -1))
+
+    def fit(self, examples: WindowedExamples) -> "DirectNARXForecaster":
+        if examples.window != self.window:
+            raise ValueError(
+                f"examples have window {examples.window}, forecaster "
+                f"expects {self.window}")
+        x = self._flatten(examples.inputs)
+        y = self._flatten(examples.outputs)
+        self.n_features_ = examples.n_features
+        self.regressor.fit(x, y)
+        return self
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Forecast output windows for ``(n, K, F)`` input windows."""
+        if self.n_features_ is None:
+            raise RuntimeError("predict called before fit")
+        x = self._flatten(np.asarray(inputs, dtype=np.float64))
+        flat = check_matrix(self.regressor.predict(x), name="prediction")
+        n = x.shape[0]
+        return flat.reshape(n, self.window, self.n_features_)

@@ -1,0 +1,173 @@
+"""CART regression tree (multi-output, variance-reduction splits).
+
+Greedy binary splitting on axis-aligned thresholds minimizing the summed
+squared error across all outputs. Split search per feature is vectorized:
+sort once, then prefix sums of ``y`` and ``|y|^2`` give every candidate
+split's SSE in O(n) — the standard CART trick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_matrix
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """Internal (feature/threshold set) or leaf (value set) node."""
+
+    value: np.ndarray
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """Multi-output CART.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit (``None`` = unbounded, sklearn default).
+    min_samples_split / min_samples_leaf:
+        Pre-pruning thresholds (sklearn defaults 2 / 1).
+    max_features:
+        Features examined per split: ``None`` (all), an int, or a float
+        fraction — the forest's decorrelation knob.
+    """
+
+    def __init__(self, max_depth: int | None = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features: int | float | None = None,
+                 rng=None) -> None:
+        if max_depth is not None and max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = as_generator(rng)
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+    def _n_split_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if isinstance(mf, float):
+            return max(1, min(n_features, int(round(mf * n_features))))
+        return max(1, min(n_features, int(mf)))
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = check_matrix(x, name="x")
+        y = check_matrix(y, name="y")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        self.n_features_ = x.shape[1]
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=y.mean(axis=0))
+        n = x.shape[0]
+        if (n < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)):
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray,
+                    y: np.ndarray) -> tuple[int, float] | None:
+        n, n_features = x.shape
+        k = self._n_split_features(n_features)
+        features = (np.arange(n_features) if k == n_features
+                    else self.rng.choice(n_features, size=k, replace=False))
+        total_sq = float(np.sum(y * y))
+        total_sum = y.sum(axis=0)
+        base_sse = total_sq - float(total_sum @ total_sum) / n
+        best: tuple[float, int, float] | None = None
+        min_leaf = self.min_samples_leaf
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            csum = np.cumsum(ys, axis=0)
+            csq = np.cumsum(np.sum(ys * ys, axis=1))
+            # Candidate split after position i (1-based count = i+1).
+            counts = np.arange(1, n)
+            left_sum = csum[:-1]
+            left_sq = csq[:-1]
+            right_sum = total_sum[None, :] - left_sum
+            right_sq = total_sq - left_sq
+            sse = (left_sq - np.einsum("ij,ij->i", left_sum, left_sum) / counts
+                   + right_sq
+                   - np.einsum("ij,ij->i", right_sum, right_sum) / (n - counts))
+            # Valid splits: both children big enough, threshold between
+            # *distinct* values.
+            valid = ((counts >= min_leaf) & (n - counts >= min_leaf)
+                     & (xs[1:] > xs[:-1]))
+            if not np.any(valid):
+                continue
+            sse = np.where(valid, sse, np.inf)
+            i = int(np.argmin(sse))
+            if sse[i] < base_sse - 1e-12 and (best is None or sse[i] < best[0]):
+                best = (float(sse[i]), int(feature),
+                        float(0.5 * (xs[i] + xs[i + 1])))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("predict called before fit")
+        x = check_matrix(x, name="x")
+        if x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"x has {x.shape[1]} features, model expects "
+                f"{self.n_features_}")
+        out = np.empty((x.shape[0], self._root.value.shape[0]))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold \
+                    else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Realized tree depth (diagnostics)."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise RuntimeError("depth called before fit")
+        return walk(self._root)

@@ -1,0 +1,80 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig3 [--preset quick|full]
+    python -m repro table3 --preset full
+    python -m repro all --preset quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _lazy(module: str) -> Callable[[str], object]:
+    """Import the experiment module only when invoked (fast `list`)."""
+    def run(preset: str) -> object:
+        import importlib
+        return importlib.import_module(module).main(preset)
+    return run
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[str], object]]] = {
+    "fig3": ("search trajectories AE/RL/RS, 128 nodes",
+             _lazy("repro.experiments.fig3_trajectories")),
+    "fig4": ("best AE-discovered architecture",
+             _lazy("repro.experiments.fig4_best_architecture")),
+    "fig5": ("post-training convergence + coefficient forecasts",
+             _lazy("repro.experiments.fig5_posttraining")),
+    "fig6": ("field forecast for the week of 2015-06-14",
+             _lazy("repro.experiments.fig6_field_forecast")),
+    "fig7": ("temporal probes in the Eastern Pacific",
+             _lazy("repro.experiments.fig7_probes")),
+    "fig8": ("unique high-performing architectures vs scale",
+             _lazy("repro.experiments.fig8_scaling_architectures")),
+    "fig9": ("10-seed variability of AE and RL",
+             _lazy("repro.experiments.fig9_variability")),
+    "table1": ("weekly Eastern-Pacific RMSE breakdown",
+               _lazy("repro.experiments.table1_rmse")),
+    "table2": ("R^2 of all forecasting methods",
+               _lazy("repro.experiments.table2_baselines")),
+    "table3": ("node utilization and evaluation counts",
+               _lazy("repro.experiments.table3_scaling")),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the SC 2020 POD-LSTM "
+                    "NAS paper on the synthetic archive.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="experiment id, 'all', or 'list'")
+    parser.add_argument("--preset", choices=("quick", "full"),
+                        default="quick",
+                        help="training/search budgets (default: quick)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"{name:8s} {description}")
+        return 0
+
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in targets:
+        _, runner = EXPERIMENTS[name]
+        runner(args.preset)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Simulated process-based comparator models (paper Sec. IV-B).
+
+The paper benchmarks the POD-LSTM against two PDE-based forecast systems:
+
+* **CESM** — the Community Earth System Model large ensemble: century-
+  scale coupled climate runs on a finer ocean grid, initialized once
+  (decades before the assessment window) and never re-assimilated;
+* **HYCOM** — the Navy's operational 1/12-degree short-term ocean
+  forecast, re-initialized daily from observations.
+
+Neither archive is reachable offline, so both are *simulated* with error
+models that reproduce the properties the paper measures: CESM tracks the
+climatology and the largest-scale modes but is uncorrelated with the
+observed interannual state (Eastern-Pacific RMSE ~1.85 C); HYCOM tracks
+the observed state closely with small lead-dependent error (~1.0 C);
+both are produced on finer grids and interpolated onto the NOAA grid,
+contributing representation error (explicitly noted by the paper).
+"""
+
+from repro.comparators.regrid import refine_field, coarsen_field, regrid_roundtrip
+from repro.comparators.cesm import SimulatedCESM
+from repro.comparators.hycom import SimulatedHYCOM
+from repro.comparators.regional import regional_rmse, weekly_rmse_breakdown
+
+__all__ = [
+    "refine_field",
+    "coarsen_field",
+    "regrid_roundtrip",
+    "SimulatedCESM",
+    "SimulatedHYCOM",
+    "regional_rmse",
+    "weekly_rmse_breakdown",
+]

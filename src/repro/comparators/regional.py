@@ -1,0 +1,52 @@
+"""Regional error metrics (paper Table I).
+
+The paper reports weekly RMSE in the Eastern Pacific box (-10..+10
+latitude, 200..250 longitude East) between April 5, 2015 and June 24,
+2018, broken down by forecast week 1..8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.grid import LatLonGrid, Region
+
+__all__ = ["regional_rmse", "weekly_rmse_breakdown"]
+
+
+def regional_rmse(truth_fields: np.ndarray, forecast_fields: np.ndarray,
+                  grid: LatLonGrid, region: Region,
+                  ocean_mask: np.ndarray) -> float:
+    """RMSE over all region ocean cells and all supplied weeks.
+
+    Both field stacks have shape ``(n_weeks, n_lat, n_lon)`` with NaN land.
+    """
+    truth = np.asarray(truth_fields, dtype=np.float64)
+    fc = np.asarray(forecast_fields, dtype=np.float64)
+    if truth.shape != fc.shape:
+        raise ValueError(
+            f"truth {truth.shape} and forecast {fc.shape} shapes differ")
+    if truth.ndim != 3:
+        raise ValueError(f"expected (n, lat, lon) stacks, got {truth.shape}")
+    cells = region.mask(grid) & ocean_mask
+    if not cells.any():
+        raise ValueError(f"region {region.name!r} contains no ocean cells")
+    diff = truth[:, cells] - fc[:, cells]
+    if np.isnan(diff).any():
+        raise ValueError("NaNs inside the region ocean cells")
+    return float(np.sqrt(np.mean(diff ** 2)))
+
+
+def weekly_rmse_breakdown(truth_by_week: dict[int, np.ndarray],
+                          forecast_by_week: dict[int, np.ndarray],
+                          grid: LatLonGrid, region: Region,
+                          ocean_mask: np.ndarray) -> dict[int, float]:
+    """Per-lead-week RMSE (Table I rows).
+
+    ``*_by_week`` map lead week (1-based) to ``(n, lat, lon)`` stacks.
+    """
+    if set(truth_by_week) != set(forecast_by_week):
+        raise ValueError("truth and forecast lead weeks differ")
+    return {week: regional_rmse(truth_by_week[week], forecast_by_week[week],
+                                grid, region, ocean_mask)
+            for week in sorted(truth_by_week)}

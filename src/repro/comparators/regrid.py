@@ -1,0 +1,93 @@
+"""Grid refinement / coarsening for the comparator models.
+
+CESM's ocean component runs on a 320x384 grid and HYCOM on a 1/12-degree
+grid; the paper interpolates both onto the NOAA one-degree grid (cubic)
+and notes that "some errors may be due to cubic interpolation onto the
+remote sensing grid". ``regrid_roundtrip`` reproduces that representation
+error: refine to the model grid, then spline-interpolate back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["refine_field", "coarsen_field", "regrid_roundtrip"]
+
+
+def _check_field(field: np.ndarray) -> np.ndarray:
+    arr = np.asarray(field, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"field must be 2-D (lat, lon), got {arr.shape}")
+    return arr
+
+
+def refine_field(field: np.ndarray, factor: int) -> np.ndarray:
+    """Spline-upsample a (lat, lon) field by an integer factor.
+
+    NaNs (land) are filled by nearest-ocean values before interpolation so
+    splines do not propagate them, then re-masked on the refined grid.
+    """
+    arr = _check_field(field)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    nan_mask = np.isnan(arr)
+    filled = fill_nan_nearest(arr)
+    fine = ndimage.zoom(filled, factor, order=3, mode="grid-wrap", grid_mode=True)
+    if nan_mask.any():
+        fine_mask = ndimage.zoom(nan_mask.astype(np.float64), factor, order=0,
+                                 mode="grid-wrap", grid_mode=True) > 0.5
+        fine[fine_mask] = np.nan
+    return fine
+
+
+def coarsen_field(field: np.ndarray, factor: int) -> np.ndarray:
+    """Cubic-spline sample a fine (lat, lon) field back down by ``factor``.
+
+    Deliberately *interpolates* (as the paper did) rather than
+    conservatively averaging, so small-scale structure aliases slightly —
+    the representation-error component of the CESM/HYCOM comparisons.
+    """
+    arr = _check_field(field)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if arr.shape[0] % factor or arr.shape[1] % factor:
+        raise ValueError(
+            f"shape {arr.shape} not divisible by factor {factor}")
+    nan_mask = np.isnan(arr)
+    filled = fill_nan_nearest(arr)
+    coarse = ndimage.zoom(filled, 1.0 / factor, order=3, mode="grid-wrap",
+                          grid_mode=True)
+    if nan_mask.any():
+        coarse_mask = ndimage.zoom(nan_mask.astype(np.float64), 1.0 / factor,
+                                   order=0, mode="grid-wrap",
+                                   grid_mode=True) > 0.5
+        coarse[coarse_mask] = np.nan
+    return coarse
+
+
+def fill_nan_nearest(field: np.ndarray) -> np.ndarray:
+    """Replace NaNs with the nearest finite value (Euclidean index metric)."""
+    arr = _check_field(field)
+    mask = np.isnan(arr)
+    if not mask.any():
+        return arr.copy()
+    if mask.all():
+        raise ValueError("field is entirely NaN")
+    idx = ndimage.distance_transform_edt(mask, return_distances=False,
+                                         return_indices=True)
+    return arr[tuple(idx)]
+
+
+def regrid_roundtrip(field: np.ndarray, factor: int = 4,
+                     smooth_sigma: float = 0.0) -> np.ndarray:
+    """Model-grid round trip: refine, optionally smooth (model effective
+    resolution), and interpolate back. Adds the representation error of a
+    finer-grid model reported on the NOAA grid."""
+    fine = refine_field(field, factor)
+    if smooth_sigma > 0.0:
+        nan_mask = np.isnan(fine)
+        fine = ndimage.gaussian_filter(fill_nan_nearest(fine), smooth_sigma,
+                                       mode=("nearest", "wrap"))
+        fine[nan_mask] = np.nan
+    return coarsen_field(fine, factor)

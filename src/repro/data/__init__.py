@@ -1,0 +1,36 @@
+"""Synthetic geophysical data substrate.
+
+The paper uses the NOAA Optimum Interpolation SST V2 data set (weekly
+360x180 one-degree snapshots, 1981-10-22 to 2018-06-30, 1,914 snapshots).
+That archive is not reachable offline, so this package procedurally
+generates a statistically equivalent data set on the same grid and
+calendar: seasonal cycle, ENSO-like interannual variability in the Eastern
+Pacific, a slow warming trend, and spatially correlated eddies, over a
+synthetic land mask. See DESIGN.md section 1 for the substitution argument.
+"""
+
+from repro.data.calendar import WeeklyCalendar
+from repro.data.grid import LatLonGrid, Region, EASTERN_PACIFIC
+from repro.data.mask import synthetic_land_mask
+from repro.data.sst import SSTConfig, SyntheticSST
+from repro.data.windowing import (
+    WindowedExamples,
+    make_windowed_examples,
+    train_validation_split,
+)
+from repro.data.loaders import SSTDataset, load_sst_dataset
+
+__all__ = [
+    "WeeklyCalendar",
+    "LatLonGrid",
+    "Region",
+    "EASTERN_PACIFIC",
+    "synthetic_land_mask",
+    "SSTConfig",
+    "SyntheticSST",
+    "WindowedExamples",
+    "make_windowed_examples",
+    "train_validation_split",
+    "SSTDataset",
+    "load_sst_dataset",
+]

@@ -1,0 +1,92 @@
+"""Weekly snapshot calendar matching the NOAA OI SST V2 archive.
+
+The archive provides one snapshot per week starting 1981-10-22; the paper
+uses 1,914 snapshots (through mid-2018), trains/validates on the first 427
+(1981-10-22 through end of 1989), and tests on the remaining 1,487
+(1990 through 2018).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+__all__ = ["WeeklyCalendar"]
+
+_EPOCH = _dt.date(1981, 10, 22)
+
+
+@dataclass(frozen=True)
+class WeeklyCalendar:
+    """Weekly calendar with the paper's canonical train/test breakpoint.
+
+    Parameters
+    ----------
+    n_snapshots:
+        Total number of weekly snapshots (paper: 1,914).
+    start:
+        Date of snapshot 0 (paper: 1981-10-22).
+    """
+
+    n_snapshots: int = 1914
+    start: _dt.date = _EPOCH
+
+    def __post_init__(self) -> None:
+        if self.n_snapshots <= 0:
+            raise ValueError(f"n_snapshots must be positive, got {self.n_snapshots}")
+
+    def date_of(self, index: int) -> _dt.date:
+        """Date of snapshot ``index`` (negative indices follow Python rules)."""
+        if index < 0:
+            index += self.n_snapshots
+        if not 0 <= index < self.n_snapshots:
+            raise IndexError(f"snapshot index {index} out of range "
+                             f"[0, {self.n_snapshots})")
+        return self.start + _dt.timedelta(weeks=index)
+
+    def index_of(self, date: _dt.date) -> int:
+        """Index of the snapshot whose week contains ``date``.
+
+        Raises ``ValueError`` if ``date`` precedes the archive or falls after
+        its final week.
+        """
+        delta = (date - self.start).days
+        if delta < 0:
+            raise ValueError(f"{date} precedes archive start {self.start}")
+        idx = delta // 7
+        if idx >= self.n_snapshots:
+            raise ValueError(f"{date} is after the final snapshot "
+                             f"({self.date_of(self.n_snapshots - 1)})")
+        return idx
+
+    @property
+    def end(self) -> _dt.date:
+        """Date of the final snapshot."""
+        return self.date_of(self.n_snapshots - 1)
+
+    def train_test_split_index(self, cutoff_year: int = 1990) -> int:
+        """First snapshot index falling in ``cutoff_year`` or later.
+
+        With the defaults this reproduces the paper's 427/1,487 split
+        (training through 1989, testing 1990-2018).
+        """
+        cutoff = _dt.date(cutoff_year, 1, 1)
+        delta = (cutoff - self.start).days
+        if delta <= 0:
+            return 0
+        # First snapshot whose 7-day week reaches into the cutoff year is
+        # test data (a week straddling the new year is not pure training
+        # data). This reproduces the paper's 427/1,487 split exactly.
+        idx = delta // 7
+        return min(idx, self.n_snapshots)
+
+    def indices_between(self, first: _dt.date, last: _dt.date) -> range:
+        """Snapshot indices with ``first <= date_of(i) <= last``."""
+        if last < first:
+            raise ValueError(f"last ({last}) precedes first ({first})")
+        lo = max(0, -(-(first - self.start).days // 7))
+        hi_days = (last - self.start).days
+        hi = min(self.n_snapshots - 1, hi_days // 7)
+        if hi < lo:
+            return range(0)
+        return range(lo, hi + 1)

@@ -1,0 +1,103 @@
+"""Latitude/longitude grids and named regions.
+
+The NOAA OI SST grid is one-degree: 360 longitudes (cell centers at
+0.5..359.5 East) by 180 latitudes (-89.5..89.5). Experiments may run at a
+coarser resolution (``degrees > 1``) to bound memory on small machines; the
+synthetic field generator preserves the large-scale statistics either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatLonGrid", "Region", "EASTERN_PACIFIC"]
+
+
+@dataclass(frozen=True)
+class LatLonGrid:
+    """Regular lat/lon grid with cell-center coordinates.
+
+    Fields are stored as arrays of shape ``(n_lat, n_lon)`` with latitude
+    ascending (south to north) along axis 0 and longitude eastward
+    (0..360) along axis 1.
+    """
+
+    degrees: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.degrees <= 0 or 180.0 % self.degrees:
+            raise ValueError(
+                f"degrees must be positive and divide 180, got {self.degrees}")
+
+    @property
+    def n_lon(self) -> int:
+        return round(360.0 / self.degrees)
+
+    @property
+    def n_lat(self) -> int:
+        return round(180.0 / self.degrees)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_lat, self.n_lon)
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_lat * self.n_lon
+
+    @property
+    def lats(self) -> np.ndarray:
+        """Cell-center latitudes, ascending, shape ``(n_lat,)``."""
+        d = self.degrees
+        return np.arange(self.n_lat) * d - 90.0 + d / 2.0
+
+    @property
+    def lons(self) -> np.ndarray:
+        """Cell-center longitudes East in [0, 360), shape ``(n_lon,)``."""
+        d = self.degrees
+        return np.arange(self.n_lon) * d + d / 2.0
+
+    def mesh(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lat2d, lon2d)`` meshes of shape ``(n_lat, n_lon)``."""
+        return np.meshgrid(self.lats, self.lons, indexing="ij")
+
+    def nearest_index(self, lat: float, lon: float) -> tuple[int, int]:
+        """Indices of the cell containing the point ``(lat, lon East)``."""
+        if not -90.0 <= lat <= 90.0:
+            raise ValueError(f"latitude {lat} out of range [-90, 90]")
+        lon = lon % 360.0
+        i = min(int((lat + 90.0) / self.degrees), self.n_lat - 1)
+        j = min(int(lon / self.degrees), self.n_lon - 1)
+        return i, j
+
+
+@dataclass(frozen=True)
+class Region:
+    """A lat/lon box, used for regional error metrics (paper: Table I)."""
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    name: str = "region"
+
+    def __post_init__(self) -> None:
+        if self.lat_max <= self.lat_min:
+            raise ValueError("lat_max must exceed lat_min")
+        if self.lon_max <= self.lon_min:
+            raise ValueError("lon_max must exceed lon_min")
+
+    def mask(self, grid: LatLonGrid) -> np.ndarray:
+        """Boolean mask of grid cells inside the box, shape ``grid.shape``."""
+        lat2d, lon2d = grid.mesh()
+        return ((lat2d >= self.lat_min) & (lat2d <= self.lat_max)
+                & (lon2d >= self.lon_min) & (lon2d <= self.lon_max))
+
+
+#: The paper's Eastern Pacific assessment box: -10..+10 latitude,
+#: 200..250 longitude East (Table I, Figs. 6-7).
+EASTERN_PACIFIC = Region(lat_min=-10.0, lat_max=10.0,
+                         lon_min=200.0, lon_max=250.0,
+                         name="eastern_pacific")

@@ -1,0 +1,93 @@
+"""Synthetic land mask.
+
+The NOAA product masks out land cells before flattening ocean cells into
+an ``R^{N_h}`` snapshot vector. We build a deterministic synthetic
+coastline from boxes and ellipses that roughly mimic the real continents.
+What matters downstream is (a) an ocean fraction near the real one
+(~0.67 of the globe, higher on the one-degree grid because of lakes), and
+(b) that the paper's Eastern Pacific assessment box (-10..10 lat,
+200..250 lon) is open ocean far from coasts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.grid import LatLonGrid, EASTERN_PACIFIC
+
+__all__ = ["synthetic_land_mask"]
+
+# (lat_min, lat_max, lon_min, lon_max, kind) — kind "box" or "ellipse".
+# A coarse cartoon of the continents on a 0..360 East longitude circle.
+_CONTINENTS: tuple[tuple[float, float, float, float, str], ...] = (
+    # North America
+    (15.0, 72.0, 235.0, 300.0, "ellipse"),
+    # Central America bridge
+    (8.0, 20.0, 255.0, 280.0, "box"),
+    # South America
+    (-55.0, 12.0, 278.0, 325.0, "ellipse"),
+    # Africa
+    (-35.0, 37.0, 343.0, 412.0, "ellipse"),   # wraps through 0
+    # Eurasia
+    (5.0, 77.0, 0.0, 180.0, "ellipse"),
+    # India emphasis (keeps the Indian Ocean open south of it)
+    (8.0, 30.0, 68.0, 90.0, "box"),
+    # Australia
+    (-39.0, -11.0, 113.0, 154.0, "ellipse"),
+    # Antarctica
+    (-90.0, -70.0, 0.0, 360.0, "box"),
+    # Greenland
+    (60.0, 83.0, 300.0, 340.0, "ellipse"),
+)
+
+
+def _ellipse_mask(lat2d: np.ndarray, lon2d: np.ndarray,
+                  lat_min: float, lat_max: float,
+                  lon_min: float, lon_max: float) -> np.ndarray:
+    c_lat = 0.5 * (lat_min + lat_max)
+    c_lon = 0.5 * (lon_min + lon_max)
+    r_lat = 0.5 * (lat_max - lat_min)
+    r_lon = 0.5 * (lon_max - lon_min)
+    dlon = (lon2d - c_lon + 180.0) % 360.0 - 180.0
+    return ((lat2d - c_lat) / r_lat) ** 2 + (dlon / r_lon) ** 2 <= 1.0
+
+
+def _box_mask(lat2d: np.ndarray, lon2d: np.ndarray,
+              lat_min: float, lat_max: float,
+              lon_min: float, lon_max: float) -> np.ndarray:
+    lon_lo = lon_min % 360.0
+    lon_hi = lon_max % 360.0
+    in_lat = (lat2d >= lat_min) & (lat2d <= lat_max)
+    if lon_min == 0.0 and lon_max == 360.0:
+        return in_lat
+    if lon_lo <= lon_hi:
+        in_lon = (lon2d >= lon_lo) & (lon2d <= lon_hi)
+    else:  # wraps the dateline
+        in_lon = (lon2d >= lon_lo) | (lon2d <= lon_hi)
+    return in_lat & in_lon
+
+
+def synthetic_land_mask(grid: LatLonGrid) -> np.ndarray:
+    """Boolean array of shape ``grid.shape`` — True where OCEAN.
+
+    Deterministic (no RNG): the same grid always yields the same mask, so
+    snapshot flattening is stable across runs.
+    """
+    lat2d, lon2d = grid.mesh()
+    land = np.zeros(grid.shape, dtype=bool)
+    for lat_min, lat_max, lon_min, lon_max, kind in _CONTINENTS:
+        if kind == "ellipse":
+            land |= _ellipse_mask(lat2d, lon2d, lat_min, lat_max,
+                                  lon_min, lon_max)
+        else:
+            land |= _box_mask(lat2d, lon2d, lat_min, lat_max,
+                              lon_min, lon_max)
+    ocean = ~land
+    # Sanity invariants the rest of the library relies on.
+    frac = ocean.mean()
+    if not 0.5 < frac < 0.9:  # pragma: no cover - construction guarantee
+        raise RuntimeError(f"synthetic ocean fraction {frac:.2f} implausible")
+    ep = EASTERN_PACIFIC.mask(grid)
+    if not ocean[ep].all():  # pragma: no cover - construction guarantee
+        raise RuntimeError("Eastern Pacific assessment box intersects land")
+    return ocean

@@ -1,0 +1,29 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each ``run_*`` function returns a structured result object and each module
+prints the same rows/series the paper reports. The ``quick`` preset keeps
+every experiment laptop-fast; ``full`` uses the paper-equivalent training
+budgets. See DESIGN.md Sec. 3 for the experiment index and EXPERIMENTS.md
+for paper-vs-measured records.
+"""
+
+from repro.experiments.context import ExperimentPreset, ReproductionContext, get_context
+from repro.experiments.fig3_trajectories import run_fig3
+from repro.experiments.fig4_best_architecture import run_fig4
+from repro.experiments.fig5_posttraining import run_fig5
+from repro.experiments.fig6_field_forecast import run_fig6
+from repro.experiments.fig7_probes import run_fig7
+from repro.experiments.fig8_scaling_architectures import run_fig8
+from repro.experiments.fig9_variability import run_fig9
+from repro.experiments.table1_rmse import run_table1
+from repro.experiments.table2_baselines import run_table2
+from repro.experiments.table3_scaling import run_table3
+
+__all__ = [
+    "ExperimentPreset",
+    "ReproductionContext",
+    "get_context",
+    "run_fig3", "run_fig4", "run_fig5", "run_fig6", "run_fig7",
+    "run_fig8", "run_fig9",
+    "run_table1", "run_table2", "run_table3",
+]

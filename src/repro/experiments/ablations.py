@@ -1,0 +1,155 @@
+"""Ablations of the design decisions DESIGN.md Sec. 5 calls out.
+
+Not figures of the paper, but probes of the claims behind its design:
+
+* ``ablate_aging`` — AE's ageing (replace-oldest) vs a classical
+  replace-worst GA under noisy evaluations. The paper credits ageing for
+  navigating training noise (Sec. IV-A): without it, lucky noisy scores
+  become immortal parents.
+* ``ablate_sample_size`` — tournament size s (paper fixes s=10).
+* ``ablate_skip_connections`` — retrain the discovered architecture with
+  its skip connections severed.
+* ``ablate_pod_rank`` — Nr sweep: reconstruction-vs-forecastability.
+* ``ablate_fidelity_ordering`` — does the surrogate's quality ordering
+  survive real training for clearly separated architectures?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.windowing import train_validation_split
+from repro.experiments.context import ReproductionContext, get_context
+from repro.forecast import PODLSTMEmulator
+from repro.nas import AgingEvolution, ArchitecturePerformanceModel, SurrogateEvaluator
+from repro.nas.space import StackedLSTMSpace, build_network
+from repro.nn.training import Trainer
+from repro.pod import fit_pod, projection_error
+
+__all__ = ["ablate_aging", "ablate_sample_size", "ablate_skip_connections",
+           "ablate_pod_rank", "ablate_fidelity_ordering"]
+
+
+def _drive(search, evaluator, n_evals: int, eval_seed: int) -> float:
+    """Run a serial ask/tell loop; return the best *true* quality found."""
+    rng = np.random.default_rng(eval_seed)
+    for _ in range(n_evals):
+        arch = search.ask()
+        search.tell(arch, evaluator.model.observed_quality(arch, rng))
+    return evaluator.model.quality(search.best_architecture)
+
+
+def ablate_aging(preset: str = "quick", *, n_evals: int = 1500,
+                 noise_std: float = 0.02, n_seeds: int = 5
+                 ) -> dict[str, list[float]]:
+    """Mean true quality found by aging vs non-aging evolution under
+    *high* evaluation noise (5x the calibrated level)."""
+    ctx = get_context(preset)
+    out: dict[str, list[float]] = {"aging": [], "non-aging": []}
+    for seed in range(n_seeds):
+        model = ArchitecturePerformanceModel(ctx.space, seed=0,
+                                             noise_std=noise_std)
+        for label, aging in (("aging", True), ("non-aging", False)):
+            search = AgingEvolution(
+                ctx.space, rng=np.random.default_rng((seed, aging)),
+                population_size=60, sample_size=10, aging=aging)
+            evaluator = SurrogateEvaluator(ctx.space, model)
+            out[label].append(_drive(search, evaluator, n_evals, seed))
+    return out
+
+
+def ablate_sample_size(preset: str = "quick", *, n_evals: int = 1500,
+                       sizes: tuple[int, ...] = (2, 10, 50),
+                       n_seeds: int = 3) -> dict[int, list[float]]:
+    """Best true quality vs tournament sample size (paper: s=10)."""
+    ctx = get_context(preset)
+    out: dict[int, list[float]] = {s: [] for s in sizes}
+    for seed in range(n_seeds):
+        model = ArchitecturePerformanceModel(ctx.space, seed=0)
+        for s in sizes:
+            search = AgingEvolution(
+                ctx.space, rng=np.random.default_rng((seed, s)),
+                population_size=60, sample_size=s)
+            evaluator = SurrogateEvaluator(ctx.space, model)
+            out[s].append(_drive(search, evaluator, n_evals, seed))
+    return out
+
+
+def ablate_skip_connections(preset: str = "quick") -> dict[str, float]:
+    """Validation R^2 of the discovered architecture with and without its
+    skip connections (same layer stack, skips zeroed)."""
+    ctx = get_context(preset)
+    arch = list(ctx.best_architecture())
+    stripped = arch.copy()
+    for pos in range(ctx.space.n_layers, len(stripped)):
+        stripped[pos] = 0
+    snaps = ctx.dataset.training_snapshots()
+    epochs = max(10, ctx.preset.posttrain_epochs // 2)
+    out = {}
+    for label, encoding in (("with skips", tuple(arch)),
+                            ("without skips", tuple(stripped))):
+        emulator = PODLSTMEmulator(
+            trainer=Trainer(epochs=epochs, batch_size=64,
+                            learning_rate=0.002))
+        emulator.fit(snaps, network=build_network(ctx.space, encoding,
+                                                  rng=0), rng=0)
+        out[label] = emulator.validation_r2
+    return out
+
+
+@dataclass
+class PodRankPoint:
+    n_modes: int
+    energy_fraction: float
+    projection_error: float
+    validation_r2: float
+
+
+def ablate_pod_rank(preset: str = "quick",
+                    ranks: tuple[int, ...] = (2, 5, 10)
+                    ) -> list[PodRankPoint]:
+    """Nr sweep: more modes reconstruct better but the added modes are
+    increasingly stochastic (paper Sec. II-B's justification of Nr=5)."""
+    ctx = get_context(preset)
+    snaps = ctx.dataset.training_snapshots()
+    full = fit_pod(snaps, max(ranks))
+    epochs = max(10, ctx.preset.posttrain_epochs // 4)
+    points = []
+    for n_modes in ranks:
+        basis = full.truncate(n_modes)
+        emulator = PODLSTMEmulator(
+            n_modes=n_modes, window=8,
+            trainer=Trainer(epochs=epochs, batch_size=64,
+                            learning_rate=0.002))
+        emulator.fit(snaps, rng=0)
+        points.append(PodRankPoint(
+            n_modes=n_modes,
+            energy_fraction=full.energy_fraction(n_modes),
+            projection_error=projection_error(basis, snaps),
+            validation_r2=emulator.validation_r2))
+    return points
+
+
+def ablate_fidelity_ordering(preset: str = "quick") -> dict[str, dict]:
+    """Train a surrogate-strong and a surrogate-weak architecture for real
+    and check the ordering survives the fidelity change."""
+    ctx = get_context(preset)
+    model = ctx.performance_model
+    rng = np.random.default_rng(0)
+    candidates = [ctx.space.random_architecture(rng) for _ in range(300)]
+    strong = max(candidates, key=model.quality)
+    weak = min(candidates, key=model.quality)
+    snaps = ctx.dataset.training_snapshots()
+    epochs = max(10, ctx.preset.posttrain_epochs // 4)
+    out = {}
+    for label, arch in (("strong", strong), ("weak", weak)):
+        emulator = PODLSTMEmulator(
+            trainer=Trainer(epochs=epochs, batch_size=64,
+                            learning_rate=0.002))
+        emulator.fit(snaps, network=build_network(ctx.space, arch, rng=0),
+                     rng=0)
+        out[label] = {"surrogate": model.quality(arch),
+                      "real": emulator.validation_r2}
+    return out

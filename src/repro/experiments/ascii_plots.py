@@ -1,0 +1,96 @@
+"""Terminal visualization: sparklines and field heatmaps in plain text.
+
+The reproduction environment has no plotting stack, so the figure drivers
+render their series and fields as Unicode block art — enough to *see*
+Fig. 3's trajectories or Fig. 6's temperature fields in a terminal or a
+log file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "field_heatmap", "trajectory_panel"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_SHADES = " ░▒▓█"
+
+
+def sparkline(values, *, width: int = 60,
+              value_range: tuple[float, float] | None = None) -> str:
+    """One-line block-character rendering of a series.
+
+    ``width`` resamples the series; ``value_range`` fixes the vertical
+    scale (so several sparklines can share one scale).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {v.shape}")
+    if v.size == 0:
+        return ""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if v.size > width:
+        picks = np.linspace(0, v.size - 1, width).round().astype(int)
+        v = v[picks]
+    lo, hi = value_range if value_range is not None else (v.min(), v.max())
+    if hi <= lo:
+        return _BLOCKS[4] * v.size
+    scaled = np.clip((v - lo) / (hi - lo), 0.0, 1.0)
+    idx = (scaled * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def trajectory_panel(trajectories: dict[str, tuple], *,
+                     width: int = 60) -> str:
+    """Shared-scale sparklines for several named (times, values) series —
+    the textual Fig. 3."""
+    if not trajectories:
+        return "(no trajectories)"
+    finite = [np.asarray(v, dtype=np.float64)
+              for _, v in trajectories.values()]
+    lo = min(float(v.min()) for v in finite if v.size)
+    hi = max(float(v.max()) for v in finite if v.size)
+    name_width = max(len(name) for name in trajectories)
+    lines = [f"scale: {lo:.4f} (blank) .. {hi:.4f} (full)"]
+    for name, (_, values) in trajectories.items():
+        lines.append(f"{name.rjust(name_width)} |"
+                     f"{sparkline(values, width=width, value_range=(lo, hi))}|")
+    return "\n".join(lines)
+
+
+def field_heatmap(field: np.ndarray, *, width: int = 72,
+                  flip_lat: bool = True) -> str:
+    """Shade-character rendering of a (lat, lon) field; NaN (land) is
+    drawn as ``#``. Latitude rows print north-up by default."""
+    arr = np.asarray(field, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"field must be 2-D, got shape {arr.shape}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    n_lat, n_lon = arr.shape
+    # Terminal cells are ~2x taller than wide; halve the row count.
+    height = max(1, round(width * n_lat / n_lon / 2))
+    rows = np.linspace(0, n_lat - 1, height).round().astype(int)
+    cols = np.linspace(0, n_lon - 1, min(width, n_lon)).round().astype(int)
+    sampled = arr[np.ix_(rows, cols)]
+    if flip_lat:
+        sampled = sampled[::-1]
+    finite = sampled[np.isfinite(sampled)]
+    if finite.size == 0:
+        raise ValueError("field is entirely NaN")
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for row in sampled:
+        chars = []
+        for value in row:
+            if np.isnan(value):
+                chars.append("#")
+            else:
+                shade = int(np.clip((value - lo) / span, 0, 1)
+                            * (len(_SHADES) - 1))
+                chars.append(_SHADES[shade])
+        lines.append("".join(chars))
+    lines.append(f"[{lo:.1f} .. {hi:.1f}; '#' = land]")
+    return "\n".join(lines)

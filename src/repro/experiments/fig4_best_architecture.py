@@ -1,0 +1,50 @@
+"""Figure 4: the best architecture discovered by aging evolution.
+
+The paper displays the best AE architecture from the 128-node search and
+remarks on its "unusual nature ... evidenced by multiple skip
+connections". Here we report the searched best architecture's structure
+(layer operations, skip wiring, parameter count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import get_context
+from repro.nas.space import describe_architecture
+
+__all__ = ["Fig4Result", "run_fig4", "main"]
+
+
+@dataclass
+class Fig4Result:
+    architecture: tuple
+    description: str
+    n_parameters: int
+    n_active_layers: int
+    n_skip_connections: int
+
+
+def run_fig4(preset: str = "quick") -> Fig4Result:
+    ctx = get_context(preset)
+    arch = ctx.best_architecture()
+    space = ctx.space
+    ops = space.layer_ops(arch)
+    return Fig4Result(
+        architecture=arch,
+        description=describe_architecture(space, arch),
+        n_parameters=space.count_parameters(arch),
+        n_active_layers=sum(1 for op in ops if not op.is_identity),
+        n_skip_connections=len(space.active_skips(arch)),
+    )
+
+
+def main(preset: str = "quick") -> Fig4Result:
+    result = run_fig4(preset)
+    print("Figure 4 — best AE-discovered architecture")
+    print(result.description)
+    return result
+
+
+if __name__ == "__main__":
+    main()

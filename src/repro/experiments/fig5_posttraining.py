@@ -1,0 +1,84 @@
+"""Figure 5: post-training convergence and coefficient forecasts.
+
+Top row: convergence of the best architecture retrained for the longer
+post-training budget (paper: validation R^2 0.985 after 100 epochs).
+Bottom row: POD-coefficient forecasts on the training period (1981-89,
+tracked closely) and the test period (1990-2018, errors grow with mode
+number), with CESM's coefficients projected onto the NOAA POD modes
+matching modes 1-2 but misaligning beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import get_context
+from repro.experiments.reporting import format_table
+from repro.nn.metrics import r2_score
+
+__all__ = ["Fig5Result", "run_fig5", "main"]
+
+
+@dataclass
+class Fig5Result:
+    validation_r2: float
+    epoch_r2: list[float]
+    train_mode_r2: list[float]       # per-mode forecast R^2, 1981-89
+    test_mode_r2: list[float]        # per-mode forecast R^2, 1990-2018
+    cesm_mode_correlation: list[float]  # CESM coeffs vs truth coeffs
+
+
+def _per_mode_forecast_r2(emulator, snapshots) -> list[float]:
+    times, pred, actual = emulator.forecast_coefficient_series(snapshots,
+                                                               horizon=1)
+    return [r2_score(actual[m], pred[m]) for m in range(pred.shape[0])]
+
+
+def run_fig5(preset: str = "quick") -> Fig5Result:
+    ctx = get_context(preset)
+    emulator = ctx.emulator()
+    train = ctx.dataset.training_snapshots()
+    test = ctx.test_snapshots()
+
+    train_r2 = _per_mode_forecast_r2(emulator, train)
+    test_r2 = _per_mode_forecast_r2(emulator, test)
+
+    # CESM projected onto the NOAA POD modes over a test slice (the paper
+    # compares coefficient trajectories; we report per-mode correlation).
+    idx = np.asarray(ctx.dataset.test_indices)[::8][:120]
+    truth_coeff = emulator.pipeline.coefficients(ctx.dataset.snapshots(idx))
+    cesm_coeff = emulator.pipeline.coefficients(ctx.cesm.snapshots(idx))
+    corr = []
+    for m in range(truth_coeff.shape[0]):
+        t, c = truth_coeff[m], cesm_coeff[m]
+        denom = t.std() * c.std()
+        corr.append(float(np.mean((t - t.mean()) * (c - c.mean())) / denom)
+                    if denom > 0 else 0.0)
+
+    return Fig5Result(
+        validation_r2=emulator.validation_r2,
+        epoch_r2=list(emulator.history.val_r2),
+        train_mode_r2=train_r2,
+        test_mode_r2=test_r2,
+        cesm_mode_correlation=corr,
+    )
+
+
+def main(preset: str = "quick") -> Fig5Result:
+    result = run_fig5(preset)
+    print("Figure 5 — post-training results")
+    print(f"  final validation R^2: {result.validation_r2:.4f} "
+          f"(paper: 0.985)")
+    rows = [[f"mode {m + 1}", result.train_mode_r2[m], result.test_mode_r2[m],
+             result.cesm_mode_correlation[m]]
+            for m in range(len(result.train_mode_r2))]
+    print(format_table(
+        ["", "train R^2 (1981-89)", "test R^2 (1990-2018)", "CESM corr"],
+        rows))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Figure 6: sample field forecasts for the week of June 14, 2015.
+
+The paper shows the global temperature field from NOAA (truth), HYCOM,
+CESM and the POD-LSTM for one test week, observing that the emulator
+captures the large structures (its spectral content is limited to the
+retained POD modes). We report global and Eastern-Pacific error
+statistics for each system on that week.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.grid import EASTERN_PACIFIC
+from repro.experiments.assessment import podlstm_field_forecasts
+from repro.experiments.context import get_context
+from repro.experiments.reporting import format_table
+
+__all__ = ["Fig6Result", "run_fig6", "main"]
+
+FORECAST_WEEK = _dt.date(2015, 6, 14)
+
+
+@dataclass
+class Fig6Result:
+    date: _dt.date
+    fields: dict[str, np.ndarray]          # (lat, lon), NaN land
+    global_rmse: dict[str, float]
+    eastern_pacific_rmse: dict[str, float]
+
+
+def run_fig6(preset: str = "quick", *, horizon: int = 1) -> Fig6Result:
+    ctx = get_context(preset)
+    generator = ctx.dataset.generator
+    index = ctx.dataset.calendar.index_of(FORECAST_WEEK)
+    targets = np.asarray([index])
+    truth = generator.fields(targets)[0]
+    fields = {
+        "NOAA (truth)": truth,
+        "HYCOM": ctx.hycom.fields(targets)[0],
+        "CESM": ctx.cesm.fields(targets)[0],
+        "POD-LSTM": podlstm_field_forecasts(ctx, horizon, targets)[0],
+    }
+    ocean = generator.ocean_mask
+    ep = EASTERN_PACIFIC.mask(generator.grid) & ocean
+    global_rmse, ep_rmse = {}, {}
+    for name, field in fields.items():
+        diff = (field - truth)[ocean]
+        global_rmse[name] = float(np.sqrt(np.mean(diff ** 2)))
+        diff_ep = (field - truth)[ep]
+        ep_rmse[name] = float(np.sqrt(np.mean(diff_ep ** 2)))
+    return Fig6Result(date=FORECAST_WEEK, fields=fields,
+                      global_rmse=global_rmse,
+                      eastern_pacific_rmse=ep_rmse)
+
+
+def main(preset: str = "quick") -> Fig6Result:
+    result = run_fig6(preset)
+    print(f"Figure 6 — field forecast for week of {result.date}")
+    rows = [[name, result.global_rmse[name],
+             result.eastern_pacific_rmse[name],
+             float(np.nanmin(field)), float(np.nanmax(field))]
+            for name, field in result.fields.items()]
+    print(format_table(
+        ["model", "global RMSE", "E-Pacific RMSE", "min T", "max T"], rows,
+        float_fmt="{:.2f}"))
+    from repro.experiments.ascii_plots import field_heatmap
+    for name in ("NOAA (truth)", "POD-LSTM"):
+        print(f"\n{name}:")
+        print(field_heatmap(result.fields[name], width=72))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Plain-text table/series rendering shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "describe_distribution"]
+
+
+def format_table(headers: list[str], rows: list[list], *,
+                 title: str | None = None, float_fmt: str = "{:.3f}") -> str:
+    """Render an aligned plain-text table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float) or isinstance(cell, np.floating):
+            return float_fmt.format(float(cell))
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(times, values, *, label: str = "series",
+                  checkpoints: int = 8, time_scale: float = 60.0,
+                  time_unit: str = "min") -> str:
+    """Summarize a time series at evenly spaced checkpoints."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.size == 0:
+        return f"{label}: (empty)"
+    picks = np.linspace(0, times.size - 1, min(checkpoints, times.size))
+    parts = [f"{times[int(i)] / time_scale:.0f}{time_unit}="
+             f"{values[int(i)]:.4f}" for i in picks]
+    return f"{label}: " + "  ".join(parts)
+
+
+def describe_distribution(values, *, label: str = "values") -> str:
+    """Mean +/- 2 std summary (the paper's Fig. 9 confidence band)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return f"{label}: (empty)"
+    return (f"{label}: mean={v.mean():.4f} 2std={2.0 * v.std():.4f} "
+            f"min={v.min():.4f} max={v.max():.4f}")

@@ -1,0 +1,23 @@
+"""POD-LSTM emulation — the paper's primary contribution as a public API.
+
+``PODLSTMEmulator`` composes the pieces end-to-end: POD compression of
+snapshots, per-mode coefficient standardization, windowed sequence-to-
+sequence training of a (searched or manual) stacked LSTM, non-
+autoregressive forecasting, and linear reconstruction back to physical
+fields.
+"""
+
+from repro.forecast.scaling import StandardScaler
+from repro.forecast.pipeline import PODCoefficientPipeline
+from repro.forecast.pod_lstm import PODLSTMEmulator
+from repro.forecast.posttraining import posttrain_architecture
+from repro.forecast.persistence import load_emulator, save_emulator
+
+__all__ = [
+    "StandardScaler",
+    "PODCoefficientPipeline",
+    "PODLSTMEmulator",
+    "posttrain_architecture",
+    "save_emulator",
+    "load_emulator",
+]

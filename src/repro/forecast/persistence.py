@@ -1,0 +1,121 @@
+"""Emulator persistence: one ``.npz`` holding POD basis, scaler state and
+the trained network (structure + weights).
+
+A saved emulator forecasts identically after a round trip — the archive
+carries everything ``PODLSTMEmulator`` needs at inference time (training
+state such as the epoch history is not persisted).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.forecast.pipeline import PODCoefficientPipeline
+from repro.forecast.pod_lstm import PODLSTMEmulator
+from repro.forecast.scaling import MinMaxScaler, StandardScaler
+from repro.nn.serialization import layer_config
+from repro.pod.basis import PODBasis
+from repro.pod.snapshots import SnapshotStats
+
+__all__ = ["save_emulator", "load_emulator"]
+
+_SCALERS = {"MinMaxScaler": MinMaxScaler, "StandardScaler": StandardScaler}
+
+
+def _scaler_state(scaler) -> tuple[dict, dict[str, np.ndarray]]:
+    if isinstance(scaler, MinMaxScaler):
+        if scaler.center_ is None:
+            raise ValueError("cannot save an unfitted emulator")
+        return ({"class": "MinMaxScaler", "limit": scaler.limit},
+                {"scaler_center": scaler.center_,
+                 "scaler_halfrange": scaler.halfrange_})
+    if isinstance(scaler, StandardScaler):
+        if scaler.mean_ is None:
+            raise ValueError("cannot save an unfitted emulator")
+        return ({"class": "StandardScaler"},
+                {"scaler_mean": scaler.mean_,
+                 "scaler_scale": scaler.scale_})
+    raise TypeError(f"cannot serialize scaler {type(scaler).__name__}")
+
+
+def _restore_scaler(header: dict, archive) -> MinMaxScaler | StandardScaler:
+    cls_name = header["class"]
+    if cls_name == "MinMaxScaler":
+        scaler = MinMaxScaler(limit=header["limit"])
+        scaler.center_ = archive["scaler_center"]
+        scaler.halfrange_ = archive["scaler_halfrange"]
+        return scaler
+    if cls_name == "StandardScaler":
+        scaler = StandardScaler()
+        scaler.mean_ = archive["scaler_mean"]
+        scaler.scale_ = archive["scaler_scale"]
+        return scaler
+    raise ValueError(f"unknown scaler class {cls_name!r}")
+
+
+def save_emulator(emulator: PODLSTMEmulator, path) -> None:
+    """Persist a fitted emulator to ``path`` (.npz)."""
+    network = emulator.network
+    basis = emulator.pipeline.basis
+    if network is None or basis is None:
+        raise ValueError("cannot save an unfitted emulator")
+    nodes = []
+    for name in network.topological_order:
+        spec = network._specs[name]
+        nodes.append({"name": name, "class": type(spec.layer).__name__,
+                      "config": layer_config(spec.layer),
+                      "inputs": list(spec.inputs)})
+    scaler_header, scaler_arrays = _scaler_state(emulator.pipeline.scaler)
+    header = {"format": "repro-emulator-v1",
+              "n_modes": emulator.pipeline.n_modes,
+              "window": emulator.pipeline.window,
+              "scaler": scaler_header,
+              "network": {"input_dim": network.input_dim,
+                          "output": network.output_name,
+                          "nodes": nodes}}
+    arrays = {"basis_modes": basis.modes,
+              "basis_energies": basis.energies,
+              "basis_mean": basis.stats.mean,
+              **scaler_arrays}
+    arrays.update({f"w{i}": w for i, w in enumerate(network.get_weights())})
+    np.savez(Path(path), __spec__=np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
+
+
+def load_emulator(path) -> PODLSTMEmulator:
+    """Rebuild an emulator saved by :func:`save_emulator` (forecast-ready;
+    no training history)."""
+    from repro.nn.serialization import _LAYER_CLASSES
+    from repro.nn.model import Network
+
+    with np.load(Path(path)) as archive:
+        header = json.loads(bytes(archive["__spec__"].tobytes()).decode("utf-8"))
+        if header.get("format") != "repro-emulator-v1":
+            raise ValueError(f"{path}: not a repro emulator archive")
+        basis = PODBasis(modes=archive["basis_modes"],
+                         energies=archive["basis_energies"],
+                         stats=SnapshotStats(mean=archive["basis_mean"]))
+        scaler = _restore_scaler(header["scaler"], archive)
+        net_header = header["network"]
+        n_weights = sum(1 for f in archive.files if f.startswith("w")
+                        and f[1:].isdigit())
+        weights = [archive[f"w{i}"] for i in range(n_weights)]
+
+    network = Network(input_dim=int(net_header["input_dim"]), rng=0)
+    for node in net_header["nodes"]:
+        cls = _LAYER_CLASSES[node["class"]]
+        network.add_node(node["name"], cls(**node["config"]),
+                         node["inputs"])
+    network.set_output(net_header["output"])
+    network.set_weights(weights)
+
+    emulator = PODLSTMEmulator(n_modes=header["n_modes"],
+                               window=header["window"])
+    emulator.pipeline = PODCoefficientPipeline(
+        n_modes=header["n_modes"], window=header["window"], scaler=scaler)
+    emulator.pipeline.basis = basis
+    emulator.network = network
+    return emulator

@@ -1,0 +1,92 @@
+"""Shared data pipeline: snapshots <-> scaled POD coefficients <-> windows.
+
+One pipeline instance is fit on the training snapshot matrix and then
+reused verbatim by every model — the NAS POD-LSTM, the manual LSTMs and
+the classical NARX baselines — so Table II comparisons share identical
+compression, scaling and windowing (as the paper's comparisons do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.windowing import WindowedExamples, make_windowed_examples
+from repro.pod import PODBasis, fit_pod, project_coefficients, reconstruct
+from repro.forecast.scaling import MinMaxScaler
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["PODCoefficientPipeline"]
+
+
+class PODCoefficientPipeline:
+    """POD + standardization + windowing, fit on training snapshots.
+
+    Parameters
+    ----------
+    n_modes:
+        N_r — retained POD modes (paper: 5).
+    window:
+        K — input length and forecast length (paper: 8).
+    """
+
+    def __init__(self, n_modes: int = 5, window: int = 8,
+                 scaler=None) -> None:
+        self.n_modes = check_positive_int(n_modes, name="n_modes")
+        self.window = check_positive_int(window, name="window")
+        self.basis: PODBasis | None = None
+        # Min-max by default: the LSTM forecast head is tanh-bounded, so
+        # training targets must live inside (-1, 1) (see scaling module).
+        self.scaler = scaler if scaler is not None else MinMaxScaler()
+
+    # ------------------------------------------------------------------
+    def fit(self, snapshots: np.ndarray) -> "PODCoefficientPipeline":
+        """Fit POD basis and coefficient scaler on ``(N_h, N_s)`` training
+        snapshots."""
+        snaps = check_matrix(snapshots, name="snapshots")
+        self.basis = fit_pod(snaps, self.n_modes)
+        coeff = project_coefficients(self.basis, snaps)
+        self.scaler.fit(coeff)
+        return self
+
+    def _require_fit(self) -> PODBasis:
+        if self.basis is None:
+            raise RuntimeError("pipeline used before fit")
+        return self.basis
+
+    # ------------------------------------------------------------------
+    def transform(self, snapshots: np.ndarray) -> np.ndarray:
+        """Raw snapshots -> scaled coefficients ``(n_modes, n)``."""
+        basis = self._require_fit()
+        return self.scaler.transform(project_coefficients(basis, snapshots))
+
+    def coefficients(self, snapshots: np.ndarray) -> np.ndarray:
+        """Raw snapshots -> unscaled coefficients (paper Fig. 5 plots)."""
+        return project_coefficients(self._require_fit(), snapshots)
+
+    def inverse(self, scaled: np.ndarray) -> np.ndarray:
+        """Scaled coefficients -> unscaled coefficients."""
+        self._require_fit()
+        return self.scaler.inverse_transform(scaled)
+
+    def reconstruct(self, scaled: np.ndarray) -> np.ndarray:
+        """Scaled coefficients -> physical snapshot columns (with mean)."""
+        basis = self._require_fit()
+        return reconstruct(basis, self.scaler.inverse_transform(scaled))
+
+    # ------------------------------------------------------------------
+    def windows(self, scaled_coefficients: np.ndarray, *,
+                stride: int = 1) -> WindowedExamples:
+        """Window a scaled ``(n_modes, n_time)`` series into K-in/K-out
+        sequence-to-sequence examples."""
+        return make_windowed_examples(scaled_coefficients, self.window,
+                                      stride=stride)
+
+    def windows_from_snapshots(self, snapshots: np.ndarray, *,
+                               stride: int = 1) -> WindowedExamples:
+        """Convenience: snapshots -> scaled coefficients -> windows."""
+        return self.windows(self.transform(snapshots), stride=stride)
+
+    @property
+    def energy_fraction(self) -> float:
+        """Variance captured by the retained modes (paper: ~0.92)."""
+        return self._require_fit().energy_fraction()

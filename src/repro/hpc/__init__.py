@@ -1,0 +1,40 @@
+"""Simulated HPC execution substrate.
+
+Substitutes for the Theta Cray XC40 (paper Sec. IV): a discrete-event
+simulation of a node pool running NAS evaluations, with the two execution
+models the paper contrasts —
+
+* fully **asynchronous** workers (aging evolution, random search): every
+  node independently asks the search for a configuration, trains it, and
+  reports back;
+* **synchronous multimaster-multiworker** (distributed RL): 11 agent
+  nodes each drive a worker group; a round completes only when every
+  worker in every group has reported (the barrier responsible for RL's
+  poor node utilization).
+
+Node utilization, evaluation counts, reward trajectories and unique
+high-performer counts are tracked exactly as the paper reports them
+(trapezoidal/step AUC over 3 hours of simulated wall time).
+"""
+
+from repro.hpc.event_queue import EventQueue
+from repro.hpc.theta import ThetaPartition, rl_node_allocation
+from repro.hpc.tracking import EvaluationRecord, SearchTracker
+from repro.hpc.cluster import ClusterConfig
+from repro.hpc.executor import (
+    run_asynchronous_search,
+    run_synchronous_rl_search,
+    run_search,
+)
+
+__all__ = [
+    "EventQueue",
+    "ThetaPartition",
+    "rl_node_allocation",
+    "EvaluationRecord",
+    "SearchTracker",
+    "ClusterConfig",
+    "run_asynchronous_search",
+    "run_synchronous_rl_search",
+    "run_search",
+]

@@ -1,0 +1,52 @@
+"""Minimal discrete-event simulation core.
+
+A priority queue of timestamped callbacks. Determinism: ties in time are
+broken by insertion sequence, so a seeded simulation replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Discrete-event scheduler with simulated wall-clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self.now}, when={when})")
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def run_until(self, end_time: float) -> None:
+        """Process events in time order until the queue drains or the
+        next event lies beyond ``end_time`` (the clock then advances to
+        ``end_time`` exactly — the 3-hour wall limit)."""
+        if end_time < self.now:
+            raise ValueError(
+                f"end_time {end_time} precedes current time {self.now}")
+        while self._heap and self._heap[0][0] <= end_time:
+            when, _, callback = heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        self.now = end_time
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,192 @@
+"""Discrete-event executors for the two execution models.
+
+``run_asynchronous_search`` drives aging evolution / random search: every
+node independently cycles (launch overhead -> ask -> train -> tell). No
+barrier ever forms; a node is idle only during launch overhead.
+
+``run_synchronous_rl_search`` drives distributed RL with the paper's
+multimaster-multiworker layout: per round, each agent's workers each train
+one architecture; the round's gradient all-reduce happens only when the
+slowest worker anywhere finishes (the global barrier), after which agents
+are briefly busy applying the PPO update and the next round starts.
+Unused remainder nodes (e.g. 7 of 128) never run anything.
+
+Both return the populated :class:`~repro.hpc.tracking.SearchTracker`.
+Evaluations still in flight at the wall limit keep their node busy
+(counted in utilization) but are not recorded as completed — matching how
+the paper counts evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpc.cluster import ClusterConfig
+from repro.hpc.event_queue import EventQueue
+from repro.hpc.theta import ThetaPartition, rl_node_allocation
+from repro.hpc.tracking import EvaluationRecord, SearchTracker
+from repro.nas.algorithms.base import SearchAlgorithm
+from repro.nas.algorithms.rl_nas import DistributedRL
+from repro.nas.evaluation import Evaluator
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["run_asynchronous_search", "run_synchronous_rl_search",
+           "run_search"]
+
+
+def run_asynchronous_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
+                            partition: ThetaPartition, *,
+                            cluster: ClusterConfig | None = None,
+                            rng=None) -> SearchTracker:
+    """Simulate a fully asynchronous search (AE or RS)."""
+    if not algorithm.asynchronous:
+        raise ValueError(
+            f"{type(algorithm).__name__} is synchronous; use "
+            "run_synchronous_rl_search")
+    cluster = cluster or ClusterConfig()
+    tracker = SearchTracker(partition.n_nodes, partition.wall_seconds)
+    queue = EventQueue()
+    node_rngs = spawn(rng, partition.n_nodes)
+
+    def start_cycle(node: int) -> None:
+        overhead = cluster.sample_launch_overhead(node_rngs[node])
+
+        def launch() -> None:
+            arch = algorithm.ask()
+            result = evaluator.evaluate(arch, node_rngs[node])
+            start = queue.now
+            tracker.node_busy(start)
+            failure_frac = cluster.sample_failure(node_rngs[node])
+
+            if failure_frac is not None:
+                def fail() -> None:
+                    # Node crash / NaN loss: the node frees up after the
+                    # partial run; no reward is reported (asynchronous
+                    # searches simply move on).
+                    tracker.node_idle(queue.now)
+                    tracker.n_failures += 1
+                    start_cycle(node)
+
+                queue.schedule(failure_frac * result.duration, fail)
+                return
+
+            def finish() -> None:
+                tracker.node_idle(queue.now)
+                algorithm.tell(arch, result.reward)
+                tracker.record_evaluation(EvaluationRecord(
+                    architecture=tuple(arch), reward=result.reward,
+                    start_time=start, end_time=queue.now, node=node,
+                    n_parameters=result.n_parameters))
+                start_cycle(node)
+
+            queue.schedule(result.duration, finish)
+
+        queue.schedule(overhead, launch)
+
+    for node in range(partition.n_nodes):
+        start_cycle(node)
+    queue.run_until(partition.wall_seconds)
+    return tracker
+
+
+def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
+                              partition: ThetaPartition, *,
+                              cluster: ClusterConfig | None = None,
+                              rng=None) -> SearchTracker:
+    """Simulate the synchronous multi-agent RL search."""
+    if algorithm.asynchronous:
+        raise ValueError("expected a synchronous (DistributedRL) algorithm")
+    alloc = rl_node_allocation(partition.n_nodes, algorithm.n_agents)
+    if alloc.workers_per_agent != algorithm.workers_per_agent:
+        raise ValueError(
+            f"algorithm configured for {algorithm.workers_per_agent} "
+            f"workers/agent but {partition.n_nodes} nodes allocate "
+            f"{alloc.workers_per_agent}")
+    cluster = cluster or ClusterConfig()
+    tracker = SearchTracker(partition.n_nodes, partition.wall_seconds)
+    queue = EventQueue()
+    gen = as_generator(rng)
+    # Node ids: [0, n_agents) are agents; workers follow.
+    worker_rngs = spawn(gen, alloc.n_workers)
+
+    def start_round() -> None:
+        batches = algorithm.propose_round()
+        rewards = [[0.0] * alloc.workers_per_agent
+                   for _ in range(alloc.n_agents)]
+        state = {"remaining": alloc.n_workers}
+
+        def worker_finished() -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                barrier_reached()
+
+        for agent_idx in range(alloc.n_agents):
+            for w in range(alloc.workers_per_agent):
+                worker = agent_idx * alloc.workers_per_agent + w
+                node = alloc.n_agents + worker
+                arch = batches[agent_idx][w]
+                overhead = cluster.sample_launch_overhead(worker_rngs[worker])
+                result = evaluator.evaluate(arch, worker_rngs[worker])
+                failure_frac = cluster.sample_failure(worker_rngs[worker])
+
+                def launch(agent_idx=agent_idx, w=w, node=node, arch=arch,
+                           result=result, failure_frac=failure_frac) -> None:
+                    start = queue.now
+                    tracker.node_busy(start)
+
+                    def fail() -> None:
+                        # The barrier still needs a number: report the
+                        # punishment reward, count no completed evaluation.
+                        tracker.node_idle(queue.now)
+                        tracker.n_failures += 1
+                        rewards[agent_idx][w] = cluster.failure_reward
+                        worker_finished()
+
+                    def finish() -> None:
+                        tracker.node_idle(queue.now)
+                        rewards[agent_idx][w] = result.reward
+                        tracker.record_evaluation(EvaluationRecord(
+                            architecture=tuple(arch), reward=result.reward,
+                            start_time=start, end_time=queue.now, node=node,
+                            n_parameters=result.n_parameters))
+                        worker_finished()
+
+                    if failure_frac is not None:
+                        queue.schedule(failure_frac * result.duration, fail)
+                    else:
+                        queue.schedule(result.duration, finish)
+
+                queue.schedule(overhead, launch)
+
+        def barrier_reached() -> None:
+            # All-reduce + PPO update: agent nodes busy briefly.
+            for agent_node in range(alloc.n_agents):
+                tracker.node_busy(queue.now)
+
+            def update_done() -> None:
+                for agent_node in range(alloc.n_agents):
+                    tracker.node_idle(queue.now)
+                algorithm.finish_round(batches, rewards)
+                start_round()
+
+            queue.schedule(cluster.rl_update_seconds, update_done)
+
+    start_round()
+    queue.run_until(partition.wall_seconds)
+    return tracker
+
+
+def run_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
+               partition: ThetaPartition, *,
+               cluster: ClusterConfig | None = None,
+               rng=None) -> SearchTracker:
+    """Dispatch on the algorithm's execution model."""
+    if algorithm.asynchronous:
+        return run_asynchronous_search(algorithm, evaluator, partition,
+                                       cluster=cluster, rng=rng)
+    if not isinstance(algorithm, DistributedRL):
+        raise TypeError(
+            f"synchronous execution supports DistributedRL, got "
+            f"{type(algorithm).__name__}")
+    return run_synchronous_rl_search(algorithm, evaluator, partition,
+                                     cluster=cluster, rng=rng)

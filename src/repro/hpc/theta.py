@@ -1,0 +1,78 @@
+"""Theta machine description and the paper's RL node-allocation rule.
+
+Theta (ALCF): 4,392 Intel Knights Landing nodes; the paper's experiments
+use partitions of 33, 64, 128, 256 and 512 nodes for 3 hours. For the RL
+method the node pool is split into 11 agents plus equal worker groups
+(paper Sec. IV): ``workers_per_agent = (n_nodes - n_agents) // n_agents``,
+leaving a remainder of unused nodes — e.g. 128 nodes -> 11 agents x 10
+workers = 121 used, 7 idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThetaPartition", "rl_node_allocation", "PAPER_NODE_COUNTS"]
+
+#: The node counts of the paper's scaling study (Sec. IV-D).
+PAPER_NODE_COUNTS = (33, 64, 128, 256, 512)
+
+#: The paper fixes the number of RL agents at 11 in every experiment.
+DEFAULT_N_AGENTS = 11
+
+#: Wall-time of every search in the paper: 3 hours.
+DEFAULT_WALL_SECONDS = 3 * 3600.0
+
+
+@dataclass(frozen=True)
+class ThetaPartition:
+    """A node allocation on the simulated machine."""
+
+    n_nodes: int
+    wall_seconds: float = DEFAULT_WALL_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+        if self.wall_seconds <= 0:
+            raise ValueError(
+                f"wall_seconds must be positive, got {self.wall_seconds}")
+
+    @property
+    def ideal_node_seconds(self) -> float:
+        """Denominator of the utilization AUC metric."""
+        return self.n_nodes * self.wall_seconds
+
+
+@dataclass(frozen=True)
+class RLAllocation:
+    """RL split of a partition into agents/workers/idle nodes."""
+
+    n_agents: int
+    workers_per_agent: int
+
+    @property
+    def n_workers(self) -> int:
+        return self.n_agents * self.workers_per_agent
+
+    @property
+    def n_used(self) -> int:
+        return self.n_agents + self.n_workers
+
+    def n_idle(self, n_nodes: int) -> int:
+        return n_nodes - self.n_used
+
+
+def rl_node_allocation(n_nodes: int,
+                       n_agents: int = DEFAULT_N_AGENTS) -> RLAllocation:
+    """The paper's equal-division allocation rule."""
+    if n_agents <= 0:
+        raise ValueError(f"n_agents must be positive, got {n_agents}")
+    if n_nodes <= n_agents:
+        raise ValueError(
+            f"need more nodes ({n_nodes}) than agents ({n_agents})")
+    wpa = (n_nodes - n_agents) // n_agents
+    if wpa == 0:
+        raise ValueError(
+            f"{n_nodes} nodes leave no workers for {n_agents} agents")
+    return RLAllocation(n_agents=n_agents, workers_per_agent=wpa)

@@ -1,0 +1,140 @@
+"""Search instrumentation: the paper's three scaling metrics.
+
+* **Reward trajectory** — moving-window average (window 100) of validation
+  rewards against completion wall-clock (Figs. 3, 9a/c);
+* **Node utilization** — AUC of the busy-node step curve divided by the
+  ideal AUC (Table III, Figs. 9b/d);
+* **Unique high performers** — count of distinct architectures whose
+  reward exceeded a threshold (0.96), cumulatively over time (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.smoothing import moving_average
+
+__all__ = ["EvaluationRecord", "SearchTracker"]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One completed evaluation on the simulated machine."""
+
+    architecture: tuple
+    reward: float
+    start_time: float
+    end_time: float
+    node: int
+    n_parameters: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class SearchTracker:
+    """Accumulates evaluation records and busy-node transitions."""
+
+    n_nodes: int
+    wall_seconds: float
+    records: list[EvaluationRecord] = field(default_factory=list)
+    #: Evaluations that died mid-run (failure injection; see
+    #: :class:`repro.hpc.cluster.ClusterConfig`).
+    n_failures: int = 0
+    _busy_events: list[tuple[float, int]] = field(default_factory=list)
+
+    def record_evaluation(self, record: EvaluationRecord) -> None:
+        self.records.append(record)
+
+    def node_busy(self, t: float) -> None:
+        """A node transitioned idle -> busy at simulated time ``t``."""
+        self._busy_events.append((t, +1))
+
+    def node_idle(self, t: float) -> None:
+        """A node transitioned busy -> idle at simulated time ``t``."""
+        self._busy_events.append((t, -1))
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.records)
+
+    def busy_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """Step curve ``(times, busy_counts)`` clipped to the wall window."""
+        events = sorted(self._busy_events)
+        times = [0.0]
+        counts = [0]
+        current = 0
+        for t, delta in events:
+            t = min(t, self.wall_seconds)
+            current += delta
+            if t == times[-1]:
+                counts[-1] = current
+            else:
+                times.append(t)
+                counts.append(current)
+        if times[-1] < self.wall_seconds:
+            times.append(self.wall_seconds)
+            counts.append(current)
+        return np.asarray(times), np.asarray(counts)
+
+    def node_utilization(self) -> float:
+        """Observed busy AUC / ideal AUC (Table III's metric).
+
+        The busy curve is a step function, for which the trapezoidal rule
+        the paper cites reduces to exact step integration of left values.
+        """
+        times, counts = self.busy_curve()
+        if times.size < 2:
+            return 0.0
+        widths = np.diff(times)
+        auc = float(np.sum(widths * counts[:-1]))
+        return auc / (self.n_nodes * self.wall_seconds)
+
+    def reward_trajectory(self, window: int = 100
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """``(completion_times, moving_average_rewards)`` (Fig. 3)."""
+        ordered = sorted(self.records, key=lambda r: r.end_time)
+        if not ordered:
+            return np.array([]), np.array([])
+        times = np.array([r.end_time for r in ordered])
+        rewards = np.array([r.reward for r in ordered])
+        return times, moving_average(rewards, window)
+
+    def best_reward_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(completion_times, best_so_far)``."""
+        ordered = sorted(self.records, key=lambda r: r.end_time)
+        if not ordered:
+            return np.array([]), np.array([])
+        times = np.array([r.end_time for r in ordered])
+        rewards = np.array([r.reward for r in ordered])
+        return times, np.maximum.accumulate(rewards)
+
+    def unique_high_performers(self, threshold: float = 0.96
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Cumulative count of distinct architectures with reward above
+        ``threshold`` vs completion time (Fig. 8)."""
+        ordered = sorted(self.records, key=lambda r: r.end_time)
+        seen: set = set()
+        times, counts = [], []
+        for rec in ordered:
+            if rec.reward > threshold and rec.architecture not in seen:
+                seen.add(rec.architecture)
+                times.append(rec.end_time)
+                counts.append(len(seen))
+        return np.asarray(times), np.asarray(counts)
+
+    def n_unique_high_performers(self, threshold: float = 0.96) -> int:
+        return len({r.architecture for r in self.records
+                    if r.reward > threshold})
+
+    def mean_evaluation_seconds(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.duration for r in self.records]))

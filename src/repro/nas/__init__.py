@@ -1,0 +1,49 @@
+"""Neural architecture search (DeepHyper-style) for stacked LSTMs.
+
+Subpackages:
+
+* :mod:`repro.nas.space` — the directed-acyclic-graph search space of
+  stacked LSTM architectures (paper Sec. III-A);
+* :mod:`repro.nas.algorithms` — aging evolution, distributed PPO
+  reinforcement learning, and random search (paper Sec. III-B);
+* :mod:`repro.nas.evaluation` — real-training and surrogate evaluators;
+* :mod:`repro.nas.surrogate` — the calibrated architecture quality/cost
+  model that stands in for single-node Theta trainings at scale.
+"""
+
+from repro.nas.space import Architecture, Operation, StackedLSTMSpace
+from repro.nas.space.builder import build_network
+from repro.nas.algorithms import (
+    AgingEvolution,
+    DistributedRL,
+    RandomSearch,
+    SearchAlgorithm,
+)
+from repro.nas.evaluation import (
+    EvaluationResult,
+    Evaluator,
+    RealTrainingEvaluator,
+    SurrogateEvaluator,
+)
+from repro.nas.surrogate import ArchitecturePerformanceModel
+from repro.nas.checkpoint import load_search, restore_search, save_search, search_state
+
+__all__ = [
+    "Architecture",
+    "Operation",
+    "StackedLSTMSpace",
+    "build_network",
+    "SearchAlgorithm",
+    "AgingEvolution",
+    "DistributedRL",
+    "RandomSearch",
+    "EvaluationResult",
+    "Evaluator",
+    "RealTrainingEvaluator",
+    "SurrogateEvaluator",
+    "ArchitecturePerformanceModel",
+    "search_state",
+    "save_search",
+    "restore_search",
+    "load_search",
+]

@@ -1,0 +1,16 @@
+"""Architecture search algorithms (paper Sec. III-B)."""
+
+from repro.nas.algorithms.base import SearchAlgorithm
+from repro.nas.algorithms.random_search import RandomSearch
+from repro.nas.algorithms.aging_evolution import AgingEvolution
+from repro.nas.algorithms.ppo import PPOAgent, PPOConfig
+from repro.nas.algorithms.rl_nas import DistributedRL
+
+__all__ = [
+    "SearchAlgorithm",
+    "RandomSearch",
+    "AgingEvolution",
+    "PPOAgent",
+    "PPOConfig",
+    "DistributedRL",
+]

@@ -1,0 +1,57 @@
+"""Ask/tell interface shared by the asynchronous search algorithms.
+
+The executor (simulated cluster or a plain loop) drives a search by
+repeatedly calling :meth:`ask` to obtain the next architecture to evaluate
+and :meth:`tell` when an evaluation finishes. Fully asynchronous
+algorithms (aging evolution, random search) tolerate any interleaving of
+asks and tells; the synchronous RL method uses its own batch interface
+(see :mod:`repro.nas.algorithms.rl_nas`).
+"""
+
+from __future__ import annotations
+
+from repro.nas.space.search_space import Architecture, StackedLSTMSpace
+from repro.utils.rng import as_generator
+
+__all__ = ["SearchAlgorithm"]
+
+
+class SearchAlgorithm:
+    """Base class: owns the space, an RNG, and the best-so-far record."""
+
+    #: Whether the algorithm tolerates out-of-order tells (drives which
+    #: executor the cluster simulator pairs it with).
+    asynchronous: bool = True
+
+    def __init__(self, space: StackedLSTMSpace, rng=None) -> None:
+        self.space = space
+        self.rng = as_generator(rng)
+        self.n_asked = 0
+        self.n_told = 0
+        self.best_architecture: Architecture | None = None
+        self.best_reward = -float("inf")
+
+    # -- protocol ----------------------------------------------------------
+    def ask(self) -> Architecture:
+        """Propose the next architecture to evaluate."""
+        self.n_asked += 1
+        return self._propose()
+
+    def tell(self, arch: Architecture, reward: float) -> None:
+        """Report a finished evaluation."""
+        self.n_told += 1
+        if reward > self.best_reward:
+            self.best_reward = reward
+            self.best_architecture = tuple(arch)
+        self._observe(tuple(arch), float(reward))
+
+    # -- hooks for subclasses ----------------------------------------------
+    def _propose(self) -> Architecture:
+        raise NotImplementedError
+
+    def _observe(self, arch: Architecture, reward: float) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(asked={self.n_asked}, "
+                f"told={self.n_told}, best={self.best_reward:.4f})")

@@ -1,0 +1,185 @@
+"""Proximal policy optimization for one-shot architecture episodes.
+
+The NAS episode is single-step: the agent emits one complete architecture
+(a vector of categorical choices, one per variable node) and receives the
+validation R^2 as the reward. The policy is a factorized categorical
+distribution — independent logits per variable node — with a learned
+scalar value baseline. The update is the clipped PPO surrogate of the
+paper's Eq. 9:
+
+``J(theta) = E[min(r A, clip(r, 1-eps, 1+eps) A)]``,
+
+with ``r`` the new/old joint-probability ratio (which factorizes over
+nodes). Gradients are analytic (softmax scores), so no autodiff is needed.
+
+The multimaster-multiworker parallelization (each agent evaluating a batch
+on its workers, then an all-reduce mean over agent gradients) lives in
+:mod:`repro.nas.algorithms.rl_nas`; this module is one agent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nas.space.search_space import Architecture, StackedLSTMSpace
+from repro.utils.rng import as_generator
+
+__all__ = ["PPOConfig", "PPOAgent"]
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO hyperparameters (paper: clip epsilon typically 0.1 or 0.2)."""
+
+    clip_epsilon: float = 0.2
+    learning_rate: float = 0.05
+    value_learning_rate: float = 0.1
+    entropy_bonus: float = 0.01
+    update_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.clip_epsilon < 1.0:
+            raise ValueError(
+                f"clip_epsilon must be in (0, 1), got {self.clip_epsilon}")
+        if self.learning_rate <= 0 or self.value_learning_rate <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.update_epochs <= 0:
+            raise ValueError("update_epochs must be positive")
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max()
+    e = np.exp(z)
+    return e / e.sum()
+
+
+class PPOAgent:
+    """One policy/value "master" of the distributed RL search."""
+
+    def __init__(self, space: StackedLSTMSpace, rng=None,
+                 config: PPOConfig | None = None) -> None:
+        self.space = space
+        self.rng = as_generator(rng)
+        self.config = config or PPOConfig()
+        self.logits: list[np.ndarray] = [np.zeros(c)
+                                         for c in space.cardinalities]
+        self.value_baseline = 0.0
+
+    # ------------------------------------------------------------------
+    # Acting
+    # ------------------------------------------------------------------
+    def sample_architecture(self) -> Architecture:
+        """Draw one architecture from the current policy."""
+        arch = []
+        for logit in self.logits:
+            probs = _softmax(logit)
+            arch.append(int(self.rng.choice(len(probs), p=probs)))
+        return tuple(arch)
+
+    def sample_batch(self, batch_size: int) -> list[Architecture]:
+        """Draw a batch (one architecture per worker node)."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return [self.sample_architecture() for _ in range(batch_size)]
+
+    def log_prob(self, arch: Architecture,
+                 logits: list[np.ndarray] | None = None) -> float:
+        """Joint log-probability of an architecture under the policy."""
+        logits = self.logits if logits is None else logits
+        arch = self.space.validate(arch)
+        total = 0.0
+        for value, logit in zip(arch, logits):
+            total += float(np.log(_softmax(logit)[value] + 1e-12))
+        return total
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def compute_gradients(self, archs: list[Architecture],
+                          rewards: list[float],
+                          old_logp: np.ndarray | None = None
+                          ) -> tuple[list[np.ndarray], float]:
+        """Clipped-PPO policy gradient and value gradient for one batch.
+
+        ``old_logp`` is the joint log-probability of each architecture
+        under the *pre-update* policy; pass the same array across all
+        epochs of an update (``update`` does). ``None`` snapshots the
+        current policy (ratio 1 — first epoch).
+
+        Returns ``(logit_grads, value_grad)`` in *ascent* direction for the
+        policy (caller adds them) and descent magnitude for the value MSE.
+        Gradients are averaged over the batch so they are directly
+        all-reduce-mean compatible across agents.
+        """
+        if len(archs) != len(rewards) or not archs:
+            raise ValueError("archs and rewards must be equal-length, non-empty")
+        cfg = self.config
+        rewards_arr = np.asarray(rewards, dtype=np.float64)
+        advantages = rewards_arr - self.value_baseline
+        std = advantages.std()
+        if std > 1e-8:
+            advantages = (advantages - advantages.mean()) / std
+
+        if old_logp is None:
+            old_logp = np.array([self.log_prob(a) for a in archs])
+
+        grads = [np.zeros_like(l) for l in self.logits]
+        new_logp = np.array([self.log_prob(a) for a in archs])
+        ratios = np.exp(new_logp - old_logp)
+        clipped = np.clip(ratios, 1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon)
+        # d/d theta min(r A, clip(r) A): the gradient flows only through r
+        # when the unclipped term is active.
+        unclipped_active = (ratios * advantages) <= (clipped * advantages)
+        for a, adv, ratio, active in zip(archs, advantages, ratios,
+                                         unclipped_active):
+            if not active:
+                continue
+            a = self.space.validate(a)
+            for pos, value in enumerate(a):
+                probs = _softmax(self.logits[pos])
+                score = -probs
+                score[value] += 1.0  # d log pi / d logits
+                grads[pos] += (ratio * adv) * score
+        for g in grads:
+            g /= len(archs)
+        # Entropy bonus keeps early exploration broad (strong exploration at
+        # the start of RL search is visible in the paper's Fig. 3).
+        if cfg.entropy_bonus > 0.0:
+            for pos, logit in enumerate(self.logits):
+                probs = _softmax(logit)
+                # d entropy / d logits = -probs * (log probs + H)
+                entropy = -float(np.sum(probs * np.log(probs + 1e-12)))
+                grads[pos] += cfg.entropy_bonus * (
+                    -probs * (np.log(probs + 1e-12) + entropy))
+        value_grad = float(np.mean(self.value_baseline - rewards_arr))
+        return grads, value_grad
+
+    def apply_gradients(self, logit_grads: list[np.ndarray],
+                        value_grad: float) -> None:
+        """Ascend the policy objective / descend the value loss."""
+        if len(logit_grads) != len(self.logits):
+            raise ValueError(
+                f"expected {len(self.logits)} gradient arrays, "
+                f"got {len(logit_grads)}")
+        cfg = self.config
+        for logit, grad in zip(self.logits, logit_grads):
+            logit += cfg.learning_rate * grad
+        self.value_baseline -= cfg.value_learning_rate * value_grad
+
+    def update(self, archs: list[Architecture], rewards: list[float]) -> None:
+        """Full local PPO update: the old policy is snapshotted once, then
+        several gradient epochs ascend the clipped surrogate against it."""
+        old_logp = np.array([self.log_prob(a) for a in archs])
+        for _ in range(self.config.update_epochs):
+            grads, vgrad = self.compute_gradients(archs, rewards, old_logp)
+            self.apply_gradients(grads, vgrad)
+
+    def policy_entropy(self) -> float:
+        """Mean per-node entropy — an exploration diagnostic."""
+        total = 0.0
+        for logit in self.logits:
+            p = _softmax(logit)
+            total += -float(np.sum(p * np.log(p + 1e-12)))
+        return total / len(self.logits)

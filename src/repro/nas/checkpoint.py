@@ -1,0 +1,81 @@
+"""Search checkpoint/restart.
+
+On a real machine a 3-hour allocation ends whether or not the search is
+done; DeepHyper-style campaigns resume from saved state. The asynchronous
+searches serialize to plain JSON-compatible dicts (architectures are
+integer tuples; rewards floats), so checkpoints are portable and
+inspectable.
+
+RNG state note: resuming reseeds the generator from ``seed_on_resume``
+rather than restoring the exact bit-stream — the population/record *state*
+is what matters for search continuation, and JSON keeps the format simple.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.nas.algorithms.aging_evolution import AgingEvolution
+from repro.nas.algorithms.random_search import RandomSearch
+from repro.nas.space.search_space import StackedLSTMSpace
+
+__all__ = ["search_state", "save_search", "restore_search", "load_search"]
+
+
+def search_state(search) -> dict:
+    """JSON-compatible snapshot of an asynchronous search."""
+    state = {
+        "algorithm": type(search).__name__,
+        "n_asked": search.n_asked,
+        "n_told": search.n_told,
+        "best_reward": search.best_reward,
+        "best_architecture": (list(search.best_architecture)
+                              if search.best_architecture else None),
+    }
+    if isinstance(search, AgingEvolution):
+        state["population_size"] = search.population_size
+        state["sample_size"] = search.sample_size
+        state["aging"] = search.aging
+        state["population"] = [[list(arch), reward]
+                               for arch, reward in search.population]
+    elif not isinstance(search, RandomSearch):
+        raise TypeError(
+            f"checkpointing supports the asynchronous searches, got "
+            f"{type(search).__name__}")
+    return state
+
+
+def save_search(search, path) -> None:
+    """Write a checkpoint to ``path`` (JSON)."""
+    Path(path).write_text(json.dumps(search_state(search), indent=1))
+
+
+def restore_search(state: dict, space: StackedLSTMSpace, *,
+                   seed_on_resume=None):
+    """Rebuild a search from a :func:`search_state` snapshot."""
+    name = state.get("algorithm")
+    if name == "AgingEvolution":
+        search = AgingEvolution(space, rng=seed_on_resume,
+                                population_size=state["population_size"],
+                                sample_size=state["sample_size"],
+                                aging=state.get("aging", True))
+        for arch, reward in state["population"]:
+            search.population.append((space.validate(arch), float(reward)))
+    elif name == "RandomSearch":
+        search = RandomSearch(space, rng=seed_on_resume)
+    else:
+        raise ValueError(f"unknown algorithm {name!r} in checkpoint")
+    search.n_asked = int(state["n_asked"])
+    search.n_told = int(state["n_told"])
+    search.best_reward = float(state["best_reward"])
+    if state["best_architecture"] is not None:
+        search.best_architecture = space.validate(
+            state["best_architecture"])
+    return search
+
+
+def load_search(path, space: StackedLSTMSpace, *, seed_on_resume=None):
+    """Read a checkpoint written by :func:`save_search`."""
+    state = json.loads(Path(path).read_text())
+    return restore_search(state, space, seed_on_resume=seed_on_resume)

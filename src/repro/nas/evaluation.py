@@ -1,0 +1,127 @@
+"""Architecture evaluators.
+
+An evaluator maps an architecture encoding to an
+:class:`EvaluationResult`: the search reward (validation R^2) plus the
+*simulated single-node duration* the cluster model charges for it. Two
+fidelities are provided (DESIGN.md Sec. 1):
+
+* :class:`RealTrainingEvaluator` — builds the NumPy network and actually
+  trains it on windowed POD-coefficient data (the paper's inner loop;
+  used for science results and small searches);
+* :class:`SurrogateEvaluator` — queries the calibrated
+  :class:`~repro.nas.surrogate.ArchitecturePerformanceModel` (used for
+  512-node-scale searches on one core).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nas.space.builder import build_network
+from repro.nas.space.search_space import Architecture, StackedLSTMSpace
+from repro.nas.surrogate import ArchitecturePerformanceModel
+from repro.nn.training import Trainer
+from repro.utils.rng import as_generator
+
+__all__ = ["EvaluationResult", "Evaluator", "RealTrainingEvaluator",
+           "SurrogateEvaluator"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one architecture."""
+
+    architecture: Architecture
+    reward: float
+    duration: float               # simulated single-node seconds
+    n_parameters: int
+    metadata: dict = field(default_factory=dict)
+
+
+class Evaluator:
+    """Protocol: subclasses implement :meth:`evaluate`."""
+
+    def __init__(self, space: StackedLSTMSpace) -> None:
+        self.space = space
+
+    def evaluate(self, arch: Architecture, rng=None) -> EvaluationResult:
+        raise NotImplementedError
+
+
+class SurrogateEvaluator(Evaluator):
+    """Reward/cost from the hidden performance model."""
+
+    def __init__(self, space: StackedLSTMSpace,
+                 model: ArchitecturePerformanceModel | None = None, *,
+                 epochs: int = 20) -> None:
+        super().__init__(space)
+        self.model = model or ArchitecturePerformanceModel(space)
+        self.epochs = int(epochs)
+
+    def evaluate(self, arch: Architecture, rng=None) -> EvaluationResult:
+        gen = as_generator(rng)
+        reward = self.model.observed_quality(arch, gen, epochs=self.epochs)
+        duration = self.model.training_seconds(arch, gen, epochs=self.epochs)
+        return EvaluationResult(
+            architecture=tuple(arch), reward=reward, duration=duration,
+            n_parameters=self.space.count_parameters(arch),
+            metadata={"fidelity": "surrogate", "epochs": self.epochs})
+
+
+class RealTrainingEvaluator(Evaluator):
+    """Trains the realized network on windowed example tensors.
+
+    Parameters
+    ----------
+    data:
+        ``(x_train, y_train, x_val, y_val)`` windowed tensors (see
+        :func:`repro.data.make_windowed_examples`).
+    trainer:
+        Training protocol; defaults to the paper's search settings
+        (batch 64, lr 1e-3, 20 epochs, Adam).
+    cost_model:
+        Optional performance model used to *charge simulated time* for the
+        evaluation so real-fidelity runs remain comparable to surrogate
+        runs on the simulated cluster; defaults to measured wall seconds.
+    """
+
+    def __init__(self, space: StackedLSTMSpace, data, *,
+                 trainer: Trainer | None = None,
+                 cost_model: ArchitecturePerformanceModel | None = None
+                 ) -> None:
+        super().__init__(space)
+        x_train, y_train, x_val, y_val = data
+        self.x_train = np.asarray(x_train, dtype=np.float64)
+        self.y_train = np.asarray(y_train, dtype=np.float64)
+        self.x_val = np.asarray(x_val, dtype=np.float64)
+        self.y_val = np.asarray(y_val, dtype=np.float64)
+        if self.x_train.ndim != 3 or self.x_train.shape[2] != space.input_dim:
+            raise ValueError(
+                f"x_train must be (n, T, {space.input_dim}), "
+                f"got {self.x_train.shape}")
+        self.trainer = trainer or Trainer(epochs=20, batch_size=64,
+                                          learning_rate=0.001)
+        self.cost_model = cost_model
+
+    def evaluate(self, arch: Architecture, rng=None) -> EvaluationResult:
+        gen = as_generator(rng)
+        start = time.perf_counter()
+        net = build_network(self.space, arch, rng=gen)
+        history = self.trainer.fit(net, self.x_train, self.y_train,
+                                   self.x_val, self.y_val, rng=gen)
+        wall = time.perf_counter() - start
+        reward = history.final_val_r2
+        if self.cost_model is not None:
+            duration = self.cost_model.training_seconds(
+                arch, gen, epochs=self.trainer.epochs)
+        else:
+            duration = wall
+        return EvaluationResult(
+            architecture=tuple(arch), reward=reward, duration=duration,
+            n_parameters=net.n_parameters,
+            metadata={"fidelity": "real", "wall_seconds": wall,
+                      "epochs": self.trainer.epochs,
+                      "history": history})

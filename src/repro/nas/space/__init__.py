@@ -1,0 +1,15 @@
+"""Stacked-LSTM DAG search space."""
+
+from repro.nas.space.ops import Operation, default_operations, hybrid_operations
+from repro.nas.space.search_space import Architecture, StackedLSTMSpace
+from repro.nas.space.builder import build_network, describe_architecture
+
+__all__ = [
+    "Operation",
+    "default_operations",
+    "hybrid_operations",
+    "Architecture",
+    "StackedLSTMSpace",
+    "build_network",
+    "describe_architecture",
+]

@@ -1,0 +1,107 @@
+"""Elementwise activations with analytic derivatives.
+
+Each activation exposes ``forward(x) -> y`` and
+``backward(grad, y) -> grad_in`` where ``y`` is the cached forward output
+(cheaper than re-evaluating for tanh/sigmoid, whose derivatives are
+expressible in the output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Identity", "ReLU", "Sigmoid", "Tanh", "get_activation",
+           "sigmoid", "dsigmoid_from_y", "dtanh_from_y"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def dsigmoid_from_y(y: np.ndarray) -> np.ndarray:
+    """d sigmoid/dx expressed in the output y."""
+    return y * (1.0 - y)
+
+
+def dtanh_from_y(y: np.ndarray) -> np.ndarray:
+    """d tanh/dx expressed in the output y."""
+    return 1.0 - y * y
+
+
+class _Activation:
+    """Base class; subclasses are stateless singletons."""
+
+    name = "base"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Identity(_Activation):
+    name = "identity"
+
+    def forward(self, x):
+        return x
+
+    def backward(self, grad, y):
+        return grad
+
+
+class ReLU(_Activation):
+    name = "relu"
+
+    def forward(self, x):
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad, y):
+        return grad * (y > 0.0)
+
+
+class Sigmoid(_Activation):
+    name = "sigmoid"
+
+    def forward(self, x):
+        return sigmoid(x)
+
+    def backward(self, grad, y):
+        return grad * dsigmoid_from_y(y)
+
+
+class Tanh(_Activation):
+    name = "tanh"
+
+    def forward(self, x):
+        return np.tanh(x)
+
+    def backward(self, grad, y):
+        return grad * dtanh_from_y(y)
+
+
+_REGISTRY = {cls.name: cls for cls in (Identity, ReLU, Sigmoid, Tanh)}
+
+
+def get_activation(name: str | _Activation | None) -> _Activation:
+    """Resolve an activation by name; ``None`` means identity (the paper's
+    projection dense layers have no activation)."""
+    if name is None:
+        return Identity()
+    if isinstance(name, _Activation):
+        return name
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; options: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,42 @@
+"""Weight initializers (Keras-compatible defaults).
+
+Keras LSTMs use Glorot-uniform kernels, orthogonal recurrent kernels and
+zero biases with the forget-gate bias raised to one; matching these keeps
+the training dynamics comparable to the paper's TF/Keras runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.utils.rng import as_generator
+
+__all__ = ["glorot_uniform", "orthogonal", "zeros"]
+
+
+def glorot_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """Uniform(-a, a) with ``a = sqrt(6 / (fan_in + fan_out))``."""
+    if len(shape) < 2:
+        raise ValueError(f"glorot_uniform needs >=2-D shape, got {shape}")
+    fan_in, fan_out = shape[0], shape[1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return as_generator(rng).uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng=None) -> np.ndarray:
+    """Orthogonal init via QR of a Gaussian matrix (recurrent kernels)."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal needs a 2-D shape, got {shape}")
+    rows, cols = shape
+    big = max(rows, cols)
+    gauss = as_generator(rng).standard_normal((big, big))
+    q, r = sla.qr(gauss)
+    # Sign correction makes the distribution uniform over the orthogonal group.
+    q = q * np.sign(np.diag(r))[None, :]
+    return np.ascontiguousarray(q[:rows, :cols])
+
+
+def zeros(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """All-zeros (biases)."""
+    return np.zeros(shape)

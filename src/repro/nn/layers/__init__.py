@@ -1,0 +1,13 @@
+"""Layers: Dense, LSTM, GRU, SimpleRNN, Add, Identity — all over
+(batch, time, features)."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.dense import DenseLayer
+from repro.nn.layers.lstm import LSTMLayer
+from repro.nn.layers.gru import GRULayer
+from repro.nn.layers.rnn import SimpleRNNLayer
+from repro.nn.layers.elementwise import AddLayer, ActivationLayer, IdentityLayer
+
+__all__ = ["Layer", "DenseLayer", "LSTMLayer", "GRULayer",
+           "SimpleRNNLayer", "AddLayer", "ActivationLayer",
+           "IdentityLayer"]

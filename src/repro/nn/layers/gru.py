@@ -1,0 +1,131 @@
+"""GRU layer with exact backpropagation through time.
+
+Extension beyond the paper's LSTM-only space: the paper's related-work
+discussion (Ororbia et al.) and its future-work section motivate searching
+over *hybrid* memory cells; adding GRU (and SimpleRNN) operations to the
+catalog realizes that. Cell equations (update gate ``z``, reset gate
+``r``):
+
+.. code-block:: text
+
+    z = sigm(x Wz + h Uz + bz)
+    r = sigm(x Wr + h Ur + br)
+    g = tanh(x Wg + (r * h) Ug + bg)
+    h' = z * h + (1 - z) * g
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import dsigmoid_from_y, dtanh_from_y, sigmoid
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers.base import Layer
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["GRULayer"]
+
+
+class GRULayer(Layer):
+    """GRU ``(B, T, F) -> (B, T, units)``, returning full sequences."""
+
+    def __init__(self, units: int) -> None:
+        super().__init__()
+        self.units = check_positive_int(units, name="units")
+
+    def build(self, input_dims: list[int], rng=None) -> None:
+        if len(input_dims) != 1:
+            raise ValueError(f"GRULayer takes one input, got {len(input_dims)}")
+        in_dim = check_positive_int(input_dims[0], name="input dim")
+        gen = as_generator(rng)
+        h = self.units
+        # Gate order along the 3H axis: [z, r, g].
+        self.add_param("Wx", glorot_uniform((in_dim, 3 * h), gen))
+        self.add_param("Wh", orthogonal((h, 3 * h), gen))
+        self.add_param("b", np.zeros(3 * h))
+        super().build(input_dims, rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.units
+
+    def forward(self, inputs, training: bool = False) -> np.ndarray:
+        x = self._check_single_input(inputs)
+        batch, steps, _ = x.shape
+        h = self.units
+        wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+
+        hs = np.zeros((steps, batch, h))
+        gates = np.zeros((steps, batch, 3 * h))
+        x_proj = x @ wx + b
+        h_prev = np.zeros((batch, h))
+        for t in range(steps):
+            rec = h_prev @ wh                       # (B, 3H)
+            z = sigmoid(x_proj[:, t, :h] + rec[:, :h])
+            r = sigmoid(x_proj[:, t, h:2 * h] + rec[:, h:2 * h])
+            g = np.tanh(x_proj[:, t, 2 * h:] + (r * h_prev) @ wh[:, 2 * h:])
+            h_t = z * h_prev + (1.0 - z) * g
+            gates[t, :, :h] = z
+            gates[t, :, h:2 * h] = r
+            gates[t, :, 2 * h:] = g
+            hs[t] = h_t
+            h_prev = h_t
+        self._cache = (x, hs, gates)
+        return np.ascontiguousarray(hs.transpose(1, 0, 2))
+
+    def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, hs, gates = self._cache
+        self._cache = None
+        batch, steps, in_dim = x.shape
+        h = self.units
+        wx, wh = self.params["Wx"], self.params["Wh"]
+
+        grad_out = grad_output.transpose(1, 0, 2)
+        dwx = np.zeros_like(wx)
+        dwh = np.zeros_like(wh)
+        db = np.zeros_like(self.params["b"])
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((batch, h))
+
+        for t in range(steps - 1, -1, -1):
+            z = gates[t, :, :h]
+            r = gates[t, :, h:2 * h]
+            g = gates[t, :, 2 * h:]
+            h_prev = hs[t - 1] if t > 0 else np.zeros((batch, h))
+
+            dh = grad_out[t] + dh_next
+            dz = dh * (h_prev - g)
+            dg = dh * (1.0 - z)
+            dh_prev = dh * z
+
+            dz_pre = dz * dsigmoid_from_y(z)
+            dg_pre = dg * dtanh_from_y(g)
+            # g's recurrent branch: (r * h_prev) @ Ug
+            d_rh = dg_pre @ wh[:, 2 * h:].T
+            dr = d_rh * h_prev
+            dh_prev = dh_prev + d_rh * r
+            dr_pre = dr * dsigmoid_from_y(r)
+
+            dz_r = np.concatenate([dz_pre, dr_pre], axis=1)  # (B, 2H)
+            dh_prev = dh_prev + dz_r @ wh[:, :2 * h].T
+
+            dpre = np.concatenate([dz_r, dg_pre], axis=1)    # (B, 3H)
+            dwx += x[:, t, :].T @ dpre
+            db += dpre.sum(axis=0)
+            dx[:, t, :] = dpre @ wx.T
+            # Recurrent weight grads: z/r branches read h_prev; the
+            # candidate branch reads r * h_prev (h_prev is zero at t=0).
+            dwh[:, :2 * h] += h_prev.T @ dz_r
+            dwh[:, 2 * h:] += (r * h_prev).T @ dg_pre
+            dh_next = dh_prev
+
+        self.grads["Wx"] += dwx
+        self.grads["Wh"] += dwh
+        self.grads["b"] += db
+        return [dx]
+
+    def __repr__(self) -> str:
+        return f"GRULayer(units={self.units})"

@@ -1,0 +1,142 @@
+"""LSTM layer with exact backpropagation through time.
+
+Standard (Keras-convention) LSTM cell, gate order ``[i, f, g, o]``:
+
+.. code-block:: text
+
+    z_t = x_t Wx + h_{t-1} Wh + b          (B, 4H)
+    i = sigm(z_i)   f = sigm(z_f)   g = tanh(z_g)   o = sigm(z_o)
+    c_t = f * c_{t-1} + i * g
+    h_t = o * tanh(c_t)
+
+Sequences are returned at every timestep (the search space is
+sequence-to-sequence; paper Sec. IV-B). Initialization follows Keras:
+Glorot-uniform input kernel, orthogonal recurrent kernel, zero bias with
+unit forget-gate bias.
+
+The per-timestep recurrence is an irreducible loop; everything inside it
+is batched matrix algebra (the window K = 8 keeps the loop short).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import dsigmoid_from_y, dtanh_from_y, sigmoid
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers.base import Layer
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LSTMLayer"]
+
+
+class LSTMLayer(Layer):
+    """LSTM ``(B, T, F) -> (B, T, units)``, returning full sequences."""
+
+    def __init__(self, units: int) -> None:
+        super().__init__()
+        self.units = check_positive_int(units, name="units")
+
+    def build(self, input_dims: list[int], rng=None) -> None:
+        if len(input_dims) != 1:
+            raise ValueError(f"LSTMLayer takes one input, got {len(input_dims)}")
+        in_dim = check_positive_int(input_dims[0], name="input dim")
+        gen = as_generator(rng)
+        h = self.units
+        self.add_param("Wx", glorot_uniform((in_dim, 4 * h), gen))
+        self.add_param("Wh", orthogonal((h, 4 * h), gen))
+        bias = np.zeros(4 * h)
+        bias[h:2 * h] = 1.0  # unit forget bias (Keras default)
+        self.add_param("b", bias)
+        super().build(input_dims, rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.units
+
+    # ------------------------------------------------------------------
+    def forward(self, inputs, training: bool = False) -> np.ndarray:
+        x = self._check_single_input(inputs)
+        batch, steps, _ = x.shape
+        h = self.units
+        wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+
+        hs = np.zeros((steps, batch, h))
+        cs = np.zeros((steps, batch, h))
+        gates = np.zeros((steps, batch, 4 * h))
+        tanh_c = np.zeros((steps, batch, h))
+
+        # Hoist the input projection out of the loop (one big GEMM).
+        x_proj = x @ wx + b  # (B, T, 4H)
+        h_prev = np.zeros((batch, h))
+        c_prev = np.zeros((batch, h))
+        for t in range(steps):
+            z = x_proj[:, t, :] + h_prev @ wh
+            i = sigmoid(z[:, :h])
+            f = sigmoid(z[:, h:2 * h])
+            g = np.tanh(z[:, 2 * h:3 * h])
+            o = sigmoid(z[:, 3 * h:])
+            c = f * c_prev + i * g
+            tc = np.tanh(c)
+            h_t = o * tc
+            gates[t, :, :h] = i
+            gates[t, :, h:2 * h] = f
+            gates[t, :, 2 * h:3 * h] = g
+            gates[t, :, 3 * h:] = o
+            cs[t] = c
+            tanh_c[t] = tc
+            hs[t] = h_t
+            h_prev, c_prev = h_t, c
+        self._cache = (x, hs, cs, gates, tanh_c)
+        return np.ascontiguousarray(hs.transpose(1, 0, 2))
+
+    def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, hs, cs, gates, tanh_c = self._cache
+        self._cache = None
+        batch, steps, in_dim = x.shape
+        h = self.units
+        wx, wh = self.params["Wx"], self.params["Wh"]
+
+        grad_out = grad_output.transpose(1, 0, 2)  # (T, B, H)
+        dwx = np.zeros_like(wx)
+        dwh = np.zeros_like(wh)
+        db = np.zeros_like(self.params["b"])
+        dx = np.zeros_like(x)
+
+        dh_next = np.zeros((batch, h))
+        dc_next = np.zeros((batch, h))
+        for t in range(steps - 1, -1, -1):
+            i = gates[t, :, :h]
+            f = gates[t, :, h:2 * h]
+            g = gates[t, :, 2 * h:3 * h]
+            o = gates[t, :, 3 * h:]
+            tc = tanh_c[t]
+            c_prev = cs[t - 1] if t > 0 else np.zeros((batch, h))
+            h_prev = hs[t - 1] if t > 0 else np.zeros((batch, h))
+
+            dh = grad_out[t] + dh_next
+            dc = dc_next + dh * o * dtanh_from_y(tc)
+
+            dz = np.empty((batch, 4 * h))
+            dz[:, :h] = dc * g * dsigmoid_from_y(i)            # d z_i
+            dz[:, h:2 * h] = dc * c_prev * dsigmoid_from_y(f)  # d z_f
+            dz[:, 2 * h:3 * h] = dc * i * dtanh_from_y(g)      # d z_g
+            dz[:, 3 * h:] = dh * tc * dsigmoid_from_y(o)       # d z_o
+
+            dwx += x[:, t, :].T @ dz
+            dwh += h_prev.T @ dz
+            db += dz.sum(axis=0)
+            dx[:, t, :] = dz @ wx.T
+            dh_next = dz @ wh.T
+            dc_next = dc * f
+
+        self.grads["Wx"] += dwx
+        self.grads["Wh"] += dwh
+        self.grads["b"] += db
+        return [dx]
+
+    def __repr__(self) -> str:
+        return f"LSTMLayer(units={self.units})"

@@ -1,0 +1,82 @@
+"""Simple (Elman) RNN layer with exact backpropagation through time.
+
+``h_t = tanh(x_t Wx + h_{t-1} Wh + b)`` — the lightest recurrent cell in
+the extended operation catalog (see :mod:`repro.nn.layers.gru`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import dtanh_from_y
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers.base import Layer
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SimpleRNNLayer"]
+
+
+class SimpleRNNLayer(Layer):
+    """Elman RNN ``(B, T, F) -> (B, T, units)``, full sequences."""
+
+    def __init__(self, units: int) -> None:
+        super().__init__()
+        self.units = check_positive_int(units, name="units")
+
+    def build(self, input_dims: list[int], rng=None) -> None:
+        if len(input_dims) != 1:
+            raise ValueError(
+                f"SimpleRNNLayer takes one input, got {len(input_dims)}")
+        in_dim = check_positive_int(input_dims[0], name="input dim")
+        gen = as_generator(rng)
+        self.add_param("Wx", glorot_uniform((in_dim, self.units), gen))
+        self.add_param("Wh", orthogonal((self.units, self.units), gen))
+        self.add_param("b", np.zeros(self.units))
+        super().build(input_dims, rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.units
+
+    def forward(self, inputs, training: bool = False) -> np.ndarray:
+        x = self._check_single_input(inputs)
+        batch, steps, _ = x.shape
+        wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+        hs = np.zeros((steps, batch, self.units))
+        x_proj = x @ wx + b
+        h_prev = np.zeros((batch, self.units))
+        for t in range(steps):
+            h_prev = np.tanh(x_proj[:, t, :] + h_prev @ wh)
+            hs[t] = h_prev
+        self._cache = (x, hs)
+        return np.ascontiguousarray(hs.transpose(1, 0, 2))
+
+    def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, hs = self._cache
+        self._cache = None
+        batch, steps, _ = x.shape
+        wx, wh = self.params["Wx"], self.params["Wh"]
+        grad_out = grad_output.transpose(1, 0, 2)
+        dwx = np.zeros_like(wx)
+        dwh = np.zeros_like(wh)
+        db = np.zeros_like(self.params["b"])
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((batch, self.units))
+        for t in range(steps - 1, -1, -1):
+            h_prev = hs[t - 1] if t > 0 else np.zeros((batch, self.units))
+            dpre = (grad_out[t] + dh_next) * dtanh_from_y(hs[t])
+            dwx += x[:, t, :].T @ dpre
+            dwh += h_prev.T @ dpre
+            db += dpre.sum(axis=0)
+            dx[:, t, :] = dpre @ wx.T
+            dh_next = dpre @ wh.T
+        self.grads["Wx"] += dwx
+        self.grads["Wh"] += dwh
+        self.grads["b"] += db
+        return [dx]
+
+    def __repr__(self) -> str:
+        return f"SimpleRNNLayer(units={self.units})"

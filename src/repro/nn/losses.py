@@ -1,0 +1,38 @@
+"""Training losses.
+
+The paper trains every candidate with mean squared error (Sec. IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MeanSquaredError"]
+
+
+class MeanSquaredError:
+    """MSE over all tensor entries.
+
+    ``loss = mean((pred - target)^2)``; the gradient is taken with respect
+    to the prediction.
+    """
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        self._check(predictions, targets)
+        diff = predictions - targets
+        return float(np.mean(diff * diff))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray
+                 ) -> np.ndarray:
+        self._check(predictions, targets)
+        return 2.0 * (predictions - targets) / predictions.size
+
+    @staticmethod
+    def _check(predictions: np.ndarray, targets: np.ndarray) -> None:
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} does not match "
+                f"target shape {targets.shape}")
+
+    def __repr__(self) -> str:
+        return "MeanSquaredError()"

@@ -1,0 +1,47 @@
+"""Evaluation metrics.
+
+The paper's search reward and post-training quality figure is the
+coefficient of determination R^2 on validation data; Table I reports RMSE
+in degrees Celsius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["r2_score", "rmse"]
+
+
+def r2_score(targets, predictions) -> float:
+    """Coefficient of determination over all flattened entries.
+
+    ``1 - SS_res / SS_tot`` with ``SS_tot`` about the target mean. Follows
+    the scikit-learn convention for the degenerate case: if the targets are
+    constant, returns 1.0 for a perfect fit and 0.0 otherwise. Can be
+    arbitrarily negative for bad fits (paper: XGBoost scores -0.056 on the
+    test period).
+    """
+    y = np.asarray(targets, dtype=np.float64).ravel()
+    p = np.asarray(predictions, dtype=np.float64).ravel()
+    if y.shape != p.shape:
+        raise ValueError(
+            f"targets {y.shape} and predictions {p.shape} differ in size")
+    if y.size == 0:
+        raise ValueError("r2_score of empty arrays is undefined")
+    ss_res = float(np.sum((y - p) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def rmse(targets, predictions) -> float:
+    """Root mean squared error over all flattened entries."""
+    y = np.asarray(targets, dtype=np.float64).ravel()
+    p = np.asarray(predictions, dtype=np.float64).ravel()
+    if y.shape != p.shape:
+        raise ValueError(
+            f"targets {y.shape} and predictions {p.shape} differ in size")
+    if y.size == 0:
+        raise ValueError("rmse of empty arrays is undefined")
+    return float(np.sqrt(np.mean((y - p) ** 2)))

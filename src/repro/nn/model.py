@@ -1,0 +1,221 @@
+"""DAG network: named nodes executed in topological order.
+
+DeepHyper represents an architecture as a directed acyclic graph of
+operations (paper Sec. III-A); ``Network`` is the executable counterpart.
+Nodes are added with explicit input wiring; ``networkx`` validates
+acyclicity and supplies the topological order. Backward traverses the
+reverse order, summing gradient contributions from every consumer of a
+node (the fan-out rule for skip connections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.rng import as_generator
+
+__all__ = ["NodeSpec", "Network"]
+
+INPUT = "input"  # reserved name of the network input
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Declarative node description: a layer and where its inputs come from."""
+
+    name: str
+    layer: Layer
+    inputs: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.name == INPUT:
+            raise ValueError(f"node name {INPUT!r} is reserved")
+        if not self.inputs:
+            raise ValueError(f"node {self.name!r} declares no inputs")
+
+
+class Network:
+    """Executable DAG of layers.
+
+    Parameters
+    ----------
+    input_dim:
+        Feature dimension of the ``(B, T, input_dim)`` input tensor.
+    rng:
+        Seed/generator for weight initialization — build order is
+        deterministic (insertion order), so a fixed seed reproduces weights.
+    """
+
+    def __init__(self, input_dim: int, rng=None) -> None:
+        if input_dim <= 0:
+            raise ValueError(f"input_dim must be positive, got {input_dim}")
+        self.input_dim = int(input_dim)
+        self._rng = as_generator(rng)
+        self._graph = nx.DiGraph()
+        self._graph.add_node(INPUT)
+        self._specs: dict[str, NodeSpec] = {}
+        self._dims: dict[str, int] = {INPUT: self.input_dim}
+        self._order: list[str] | None = None
+        self.output_name: str | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, layer: Layer, inputs) -> str:
+        """Add and build a node. ``inputs`` is a sequence of node names
+        (use ``"input"`` for the network input). Returns ``name``."""
+        spec = NodeSpec(name=name, layer=layer, inputs=tuple(inputs))
+        if name in self._specs:
+            raise ValueError(f"duplicate node name {name!r}")
+        for src in spec.inputs:
+            if src != INPUT and src not in self._specs:
+                raise ValueError(
+                    f"node {name!r} references unknown input {src!r}")
+        dims = [self._dims[src] for src in spec.inputs]
+        layer.build(dims, self._rng)
+        self._specs[name] = spec
+        self._dims[name] = layer.output_dim
+        self._graph.add_node(name)
+        for src in spec.inputs:
+            self._graph.add_edge(src, name)
+        if not nx.is_directed_acyclic_graph(self._graph):  # defensive
+            raise ValueError(f"adding node {name!r} created a cycle")
+        self._order = None
+        self.output_name = name  # latest node is the output by default
+        return name
+
+    def set_output(self, name: str) -> None:
+        """Designate which node's tensor the network returns."""
+        if name not in self._specs:
+            raise ValueError(f"unknown node {name!r}")
+        self.output_name = name
+
+    def node_dim(self, name: str) -> int:
+        """Feature dimension produced by node ``name``."""
+        return self._dims[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._specs)
+
+    def layer(self, name: str) -> Layer:
+        return self._specs[name].layer
+
+    @property
+    def topological_order(self) -> list[str]:
+        if self._order is None:
+            order = list(nx.topological_sort(self._graph))
+            self._order = [n for n in order if n != INPUT]
+        return self._order
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the DAG; returns the output node's tensor."""
+        if self.output_name is None:
+            raise RuntimeError("network has no nodes")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise ValueError(
+                f"expected input of shape (B, T, {self.input_dim}), "
+                f"got {x.shape}")
+        values: dict[str, np.ndarray] = {INPUT: x}
+        for name in self.topological_order:
+            spec = self._specs[name]
+            inputs = [values[src] for src in spec.inputs]
+            values[name] = spec.layer.forward(inputs, training=training)
+        self._values_shapes = {k: v.shape for k, v in values.items()}
+        return values[self.output_name]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate dL/d(output); accumulates layer grads and returns
+        dL/d(input). Must follow a ``forward`` call."""
+        if self.output_name is None:
+            raise RuntimeError("network has no nodes")
+        pending: dict[str, np.ndarray] = {self.output_name:
+                                          np.asarray(grad_output,
+                                                     dtype=np.float64)}
+        input_grad: np.ndarray | None = None
+        for name in reversed(self.topological_order):
+            grad = pending.pop(name, None)
+            if grad is None:
+                # Node does not influence the output (dead branch) — its
+                # layers received no gradient this step.
+                continue
+            spec = self._specs[name]
+            input_grads = spec.layer.backward(grad)
+            for src, g in zip(spec.inputs, input_grads):
+                if src == INPUT:
+                    input_grad = g if input_grad is None else input_grad + g
+                elif src in pending:
+                    pending[src] = pending[src] + g
+                else:
+                    pending[src] = g
+        if input_grad is None:
+            input_grad = np.zeros(self._values_shapes[INPUT])
+        return input_grad
+
+    def predict(self, x: np.ndarray, batch_size: int | None = None
+                ) -> np.ndarray:
+        """Inference, optionally chunked to bound peak memory."""
+        x = np.asarray(x, dtype=np.float64)
+        if batch_size is None or x.shape[0] <= batch_size:
+            return self.forward(x, training=False)
+        chunks = [self.forward(x[s:s + batch_size], training=False)
+                  for s in range(0, x.shape[0], batch_size)]
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def parameters_and_gradients(self):
+        """Yield (param, grad) pairs in deterministic order."""
+        for name in self.topological_order:
+            layer = self._specs[name].layer
+            for key in sorted(layer.params):
+                yield layer.params[key], layer.grads[key]
+
+    def zero_grads(self) -> None:
+        for name in self.topological_order:
+            self._specs[name].layer.zero_grads()
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(self._specs[n].layer.n_parameters
+                   for n in self.topological_order)
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of all parameters (checkpointing)."""
+        return [p.copy() for p, _ in self.parameters_and_gradients()]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        params = [p for p, _ in self.parameters_and_gradients()]
+        if len(params) != len(weights):
+            raise ValueError(
+                f"expected {len(params)} arrays, got {len(weights)}")
+        for param, value in zip(params, weights):
+            if param.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch: {param.shape} vs {value.shape}")
+            param[...] = value
+
+    def summary(self) -> str:
+        """Human-readable architecture description (paper Fig. 4 analogue)."""
+        lines = [f"Network(input_dim={self.input_dim}, "
+                 f"params={self.n_parameters})"]
+        for name in self.topological_order:
+            spec = self._specs[name]
+            srcs = ", ".join(spec.inputs)
+            marker = " <- output" if name == self.output_name else ""
+            lines.append(f"  {name}: {spec.layer!r} "
+                         f"(inputs: {srcs}; dim={self._dims[name]}){marker}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Network(nodes={len(self._specs)}, "
+                f"params={self.n_parameters})")

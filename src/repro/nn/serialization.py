@@ -1,0 +1,85 @@
+"""Network persistence: a JSON node spec + weight arrays in one ``.npz``.
+
+No pickle — the on-disk format is plain NumPy arrays plus a JSON header,
+so archives are portable and inspectable. Layers are reconstructed from a
+registry of (class name -> constructor kwargs) pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import (
+    ActivationLayer,
+    AddLayer,
+    DenseLayer,
+    GRULayer,
+    IdentityLayer,
+    LSTMLayer,
+    SimpleRNNLayer,
+)
+from repro.nn.model import Network
+
+__all__ = ["save_network", "load_network", "layer_config"]
+
+_LAYER_CLASSES = {cls.__name__: cls for cls in
+                  (DenseLayer, LSTMLayer, GRULayer, SimpleRNNLayer,
+                   AddLayer, ActivationLayer, IdentityLayer)}
+
+
+def layer_config(layer) -> dict:
+    """Constructor kwargs that recreate ``layer`` (untrained)."""
+    if isinstance(layer, (LSTMLayer, GRULayer, SimpleRNNLayer)):
+        return {"units": layer.units}
+    if isinstance(layer, DenseLayer):
+        return {"units": layer.units, "activation": layer.activation.name}
+    if isinstance(layer, (AddLayer, ActivationLayer)):
+        return {"activation": layer.activation.name}
+    if isinstance(layer, IdentityLayer):
+        return {}
+    raise TypeError(f"cannot serialize layer type {type(layer).__name__}")
+
+
+def save_network(network: Network, path) -> None:
+    """Write the network's structure and weights to ``path`` (.npz)."""
+    if network.output_name is None:
+        raise ValueError("cannot save an empty network")
+    nodes = []
+    for name in network.topological_order:
+        spec = network._specs[name]
+        nodes.append({"name": name,
+                      "class": type(spec.layer).__name__,
+                      "config": layer_config(spec.layer),
+                      "inputs": list(spec.inputs)})
+    header = {"format": "repro-network-v1",
+              "input_dim": network.input_dim,
+              "output": network.output_name,
+              "nodes": nodes}
+    arrays = {f"w{i}": w for i, w in enumerate(network.get_weights())}
+    np.savez(Path(path), __spec__=np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
+
+
+def load_network(path) -> Network:
+    """Rebuild a network saved by :func:`save_network`."""
+    with np.load(Path(path)) as archive:
+        header = json.loads(bytes(archive["__spec__"].tobytes()).decode("utf-8"))
+        if header.get("format") != "repro-network-v1":
+            raise ValueError(f"{path}: not a repro network archive")
+        weights = [archive[f"w{i}"]
+                   for i in range(len(archive.files) - 1)]
+    network = Network(input_dim=int(header["input_dim"]), rng=0)
+    for node in header["nodes"]:
+        try:
+            cls = _LAYER_CLASSES[node["class"]]
+        except KeyError:
+            raise ValueError(
+                f"unknown layer class {node['class']!r} in {path}") from None
+        network.add_node(node["name"], cls(**node["config"]),
+                         node["inputs"])
+    network.set_output(header["output"])
+    network.set_weights(weights)
+    return network

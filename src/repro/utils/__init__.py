@@ -1,0 +1,21 @@
+"""Shared utilities: RNG management, validation, smoothing helpers."""
+
+from repro.utils.rng import as_generator, spawn
+from repro.utils.validation import (
+    check_array,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.smoothing import moving_average, running_max
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "check_array",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "moving_average",
+    "running_max",
+]

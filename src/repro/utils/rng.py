@@ -1,0 +1,36 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library accepts either an integer seed,
+``None`` (fresh entropy), or an existing :class:`numpy.random.Generator`.
+``spawn`` derives statistically independent child generators so that, e.g.,
+each simulated compute node or each search repetition has its own stream
+while the whole experiment stays reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn"]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing a ``Generator`` returns it unchanged (shared state, which is the
+    desired behaviour when a caller threads one stream through sub-steps).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Uses the ``SeedSequence``-based ``Generator.spawn`` so children are
+    independent of the parent and of one another.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return as_generator(rng).spawn(n)

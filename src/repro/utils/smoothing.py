@@ -1,0 +1,42 @@
+"""Series smoothing used by the search-trajectory metrics.
+
+The paper reports searches with "a moving window average of window size
+100" (Sec. IV); ``moving_average`` implements exactly that, and
+``running_max`` gives the best-so-far curve used for convergence checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moving_average", "running_max"]
+
+
+def moving_average(values, window: int = 100) -> np.ndarray:
+    """Trailing moving average with a warm-up ramp.
+
+    Entry ``i`` averages ``values[max(0, i-window+1) : i+1]`` — i.e. a
+    trailing window that uses however many points exist early on, matching
+    how DeepHyper's reward curves are computed.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {v.shape}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if v.size == 0:
+        return v.copy()
+    csum = np.concatenate(([0.0], np.cumsum(v)))
+    idx = np.arange(1, v.size + 1)
+    lo = np.maximum(idx - window, 0)
+    return (csum[idx] - csum[lo]) / (idx - lo)
+
+
+def running_max(values) -> np.ndarray:
+    """Best-reward-so-far curve."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {v.shape}")
+    if v.size == 0:
+        return v.copy()
+    return np.maximum.accumulate(v)

@@ -1,0 +1,53 @@
+"""Lightweight argument validation helpers.
+
+These centralize the error messages for common misuse so the library fails
+fast with actionable messages instead of deep-in-the-stack shape errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_array",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+]
+
+
+def check_array(x, *, name: str = "array", ndim: int | None = None,
+                dtype=np.float64) -> np.ndarray:
+    """Convert ``x`` to a contiguous ndarray, optionally enforcing ``ndim``.
+
+    NaNs and infs are rejected: the numerical pipeline (POD eigensolves,
+    BPTT) silently corrupts results when fed non-finite inputs.
+    """
+    arr = np.ascontiguousarray(x, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_matrix(x, *, name: str = "matrix") -> np.ndarray:
+    """Validate a 2-D float matrix."""
+    return check_array(x, name=name, ndim=2)
+
+
+def check_positive_int(value, *, name: str = "value") -> int:
+    """Validate a strictly positive integer (bools rejected)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value, *, name: str = "value") -> float:
+    """Validate a float in [0, 1]."""
+    p = float(value)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return p

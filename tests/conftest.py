@@ -1,0 +1,55 @@
+"""Shared fixtures: coarse grids and tiny datasets keep the suite fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import LatLonGrid, SSTDataset, WeeklyCalendar
+from repro.data.sst import SSTConfig, SyntheticSST
+from repro.nas.space import StackedLSTMSpace
+
+
+@pytest.fixture(scope="session")
+def coarse_grid() -> LatLonGrid:
+    """12-degree grid (15 x 30) — big enough for all geometry invariants."""
+    return LatLonGrid(degrees=12.0)
+
+
+@pytest.fixture(scope="session")
+def generator(coarse_grid) -> SyntheticSST:
+    return SyntheticSST(grid=coarse_grid, seed=123)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(generator) -> SSTDataset:
+    """200-week archive on the coarse grid (train split ~107 snapshots)."""
+    return SSTDataset(generator=generator,
+                      calendar=WeeklyCalendar(n_snapshots=200))
+
+
+@pytest.fixture(scope="session")
+def train_snapshots(tiny_dataset) -> np.ndarray:
+    return tiny_dataset.training_snapshots()
+
+
+@pytest.fixture(scope="session")
+def split_dataset(generator) -> SSTDataset:
+    """480-week archive: crosses the 1990 boundary so test data exists."""
+    return SSTDataset(generator=generator,
+                      calendar=WeeklyCalendar(n_snapshots=480))
+
+
+@pytest.fixture(scope="session")
+def small_space() -> StackedLSTMSpace:
+    """3-layer space with 4 ops — 4^3 * 2^3 = 512 architectures."""
+    from repro.nas.space.ops import Operation
+    ops = (Operation("identity"), Operation("lstm", 4),
+           Operation("lstm", 8), Operation("lstm", 12))
+    return StackedLSTMSpace(n_layers=3, input_dim=3, output_dim=3,
+                            operations=ops, max_skip_depth=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

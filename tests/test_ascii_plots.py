@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plots import (
+    field_heatmap,
+    sparkline,
+    trajectory_panel,
+)
+
+
+class TestSparkline:
+    def test_length_resampled(self):
+        assert len(sparkline(np.arange(500), width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        text = sparkline(np.linspace(0, 1, 9))
+        order = [" ▁▂▃▄▅▆▇█".index(c) for c in text]
+        assert order == sorted(order)
+
+    def test_constant_series(self):
+        text = sparkline([2.0, 2.0, 2.0])
+        assert len(set(text)) == 1
+
+    def test_shared_scale_clips(self):
+        text = sparkline([10.0], value_range=(0.0, 1.0))
+        assert text == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestTrajectoryPanel:
+    def test_names_and_scale_line(self):
+        panel = trajectory_panel({
+            "AE": (np.arange(5), np.linspace(0.9, 0.97, 5)),
+            "RS": (np.arange(5), np.full(5, 0.93)),
+        })
+        assert "AE |" in panel and "RS |" in panel
+        assert panel.splitlines()[0].startswith("scale:")
+
+    def test_empty(self):
+        assert "(no trajectories)" in trajectory_panel({})
+
+
+class TestFieldHeatmap:
+    def test_renders_land_and_ocean(self, generator):
+        art = field_heatmap(generator.field(0), width=40)
+        assert "#" in art          # continents
+        assert any(c in art for c in "░▒▓█")
+        assert art.splitlines()[-1].endswith("'#' = land]")
+
+    def test_warm_equator_darker_than_poles(self, generator):
+        """North-up rendering: middle rows (tropics) carry denser shades
+        than the top rows (Arctic)."""
+        art = field_heatmap(generator.field(0), width=40).splitlines()[:-1]
+        shades = " ░▒▓█"
+        def mean_shade(line):
+            cells = [shades.index(c) for c in line if c in shades]
+            return np.mean(cells) if cells else 0.0
+        mid = mean_shade(art[len(art) // 2])
+        top = mean_shade(art[0])
+        assert mid > top
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            field_heatmap(np.full((4, 8), np.nan))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            field_heatmap(np.ones(4))
+        with pytest.raises(ValueError):
+            field_heatmap(np.ones((2, 2)), width=0)

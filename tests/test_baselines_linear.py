@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.baselines import LinearRegressor
+from repro.nn.metrics import r2_score
+
+
+class TestLinearRegressor:
+    def test_recovers_exact_linear_map(self, rng):
+        w = rng.standard_normal((4, 3))
+        b = rng.standard_normal(3)
+        x = rng.standard_normal((60, 4))
+        y = x @ w + b
+        model = LinearRegressor().fit(x, y)
+        np.testing.assert_allclose(model.coef_, w, atol=1e-8)
+        np.testing.assert_allclose(model.intercept_, b, atol=1e-8)
+
+    def test_prediction_r2_on_noisy_data(self, rng):
+        x = rng.standard_normal((200, 5))
+        y = x @ rng.standard_normal((5, 2)) + 0.01 * rng.standard_normal((200, 2))
+        model = LinearRegressor().fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.99
+
+    def test_rank_deficient_handled(self, rng):
+        x = rng.standard_normal((30, 3))
+        x = np.hstack([x, x[:, :1]])  # duplicated column
+        y = x @ np.ones((4, 1))
+        model = LinearRegressor().fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-8)
+
+    def test_ridge_shrinks_coefficients(self, rng):
+        x = rng.standard_normal((40, 6))
+        y = x @ rng.standard_normal((6, 2)) + rng.standard_normal((40, 2))
+        plain = LinearRegressor().fit(x, y)
+        ridged = LinearRegressor(ridge=100.0).fit(x, y)
+        assert np.linalg.norm(ridged.coef_) < np.linalg.norm(plain.coef_)
+
+    def test_ridge_keeps_mean_prediction(self, rng):
+        x = rng.standard_normal((50, 3))
+        y = rng.standard_normal((50, 2)) + 5.0
+        model = LinearRegressor(ridge=1e6).fit(x, y)
+        np.testing.assert_allclose(model.predict(x).mean(axis=0),
+                                   y.mean(axis=0), atol=0.2)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict(np.ones((2, 2)))
+
+    def test_feature_mismatch(self, rng):
+        model = LinearRegressor().fit(rng.standard_normal((10, 3)),
+                                      rng.standard_normal((10, 1)))
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 4)))
+
+    def test_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(rng.standard_normal((10, 3)),
+                                  rng.standard_normal((9, 1)))
+
+    def test_negative_ridge(self):
+        with pytest.raises(ValueError):
+            LinearRegressor(ridge=-1.0)

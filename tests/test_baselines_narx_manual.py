@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DirectNARXForecaster,
+    LinearRegressor,
+    MANUAL_LSTM_WIDTHS,
+    build_manual_lstm,
+)
+from repro.data.windowing import make_windowed_examples
+from repro.nn.metrics import r2_score
+
+
+@pytest.fixture()
+def sinusoid_examples():
+    t = np.arange(200, dtype=np.float64)
+    coeff = np.stack([np.sin(2 * np.pi * t / 24.0),
+                      np.cos(2 * np.pi * t / 24.0)])
+    return make_windowed_examples(coeff, window=6)
+
+
+class TestDirectNARX:
+    def test_forecasts_periodic_series(self, sinusoid_examples):
+        narx = DirectNARXForecaster(LinearRegressor(), window=6)
+        narx.fit(sinusoid_examples)
+        pred = narx.predict(sinusoid_examples.inputs)
+        assert pred.shape == sinusoid_examples.outputs.shape
+        assert r2_score(sinusoid_examples.outputs, pred) > 0.999
+
+    def test_window_mismatch(self, sinusoid_examples):
+        narx = DirectNARXForecaster(LinearRegressor(), window=5)
+        with pytest.raises(ValueError, match="window"):
+            narx.fit(sinusoid_examples)
+
+    def test_predict_before_fit(self, sinusoid_examples):
+        narx = DirectNARXForecaster(LinearRegressor(), window=6)
+        with pytest.raises(RuntimeError):
+            narx.predict(sinusoid_examples.inputs)
+
+    def test_flattening_layout(self):
+        """Features must flatten time-major: (K, F) -> K*F row."""
+        tensor = np.arange(12.0).reshape(1, 3, 4)
+        flat = DirectNARXForecaster._flatten(tensor)
+        np.testing.assert_allclose(flat[0], np.arange(12.0))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            DirectNARXForecaster._flatten(np.ones((3, 4)))
+
+    def test_non_autoregressive(self, sinusoid_examples):
+        """Predictions depend only on supplied true inputs (no recursion):
+        predicting the same window twice gives identical output."""
+        narx = DirectNARXForecaster(LinearRegressor(), window=6)
+        narx.fit(sinusoid_examples)
+        one = sinusoid_examples.inputs[:1]
+        np.testing.assert_array_equal(narx.predict(one), narx.predict(one))
+
+
+class TestManualLSTM:
+    def test_paper_widths(self):
+        assert MANUAL_LSTM_WIDTHS == (40, 80, 120, 200)
+
+    @pytest.mark.parametrize("layers", [1, 5])
+    def test_layer_counts(self, layers):
+        net = build_manual_lstm(16, layers, rng=0)
+        lstm_nodes = [n for n in net.node_names if n.startswith("lstm_")]
+        assert len(lstm_nodes) == layers
+        assert net.output_name == "output"
+
+    def test_output_geometry(self, rng):
+        net = build_manual_lstm(24, 2, input_dim=5, output_dim=5, rng=0)
+        y = net.forward(rng.standard_normal((2, 8, 5)))
+        assert y.shape == (2, 8, 5)
+
+    def test_param_count_single_layer(self):
+        net = build_manual_lstm(40, 1, input_dim=5, output_dim=5, rng=0)
+        expected = 4 * ((5 + 40) * 40 + 40) + 4 * ((40 + 5) * 5 + 5)
+        assert net.n_parameters == expected
+
+    def test_width_scaling(self):
+        assert (build_manual_lstm(80, 1, rng=0).n_parameters
+                > build_manual_lstm(40, 1, rng=0).n_parameters)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_manual_lstm(0, 1)
+        with pytest.raises(ValueError):
+            build_manual_lstm(8, 0)

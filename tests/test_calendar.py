@@ -1,0 +1,103 @@
+import datetime as dt
+
+import pytest
+
+from repro.data.calendar import WeeklyCalendar
+
+
+class TestDefaults:
+    def test_paper_archive_size(self):
+        cal = WeeklyCalendar()
+        assert cal.n_snapshots == 1914
+        assert cal.start == dt.date(1981, 10, 22)
+
+    def test_paper_train_test_split(self):
+        # Paper: 427 training snapshots (through 1989), 1,487 test.
+        cal = WeeklyCalendar()
+        split = cal.train_test_split_index()
+        assert split == 427
+        assert cal.n_snapshots - split == 1487
+
+    def test_split_boundary_dates(self):
+        cal = WeeklyCalendar()
+        split = cal.train_test_split_index()
+        # Last training week lies wholly in 1989; the first test week
+        # reaches into 1990 (a straddling week is not pure training data).
+        assert (cal.date_of(split - 1) + dt.timedelta(days=6)).year == 1989
+        assert (cal.date_of(split) + dt.timedelta(days=6)).year == 1990
+
+    def test_end_date_matches_paper(self):
+        # Archive runs to mid-2018.
+        end = WeeklyCalendar().end
+        assert end.year == 2018
+        assert 5 <= end.month <= 7
+
+
+class TestDateArithmetic:
+    def test_date_of_zero(self):
+        assert WeeklyCalendar().date_of(0) == dt.date(1981, 10, 22)
+
+    def test_date_of_one_week_later(self):
+        assert WeeklyCalendar().date_of(1) == dt.date(1981, 10, 29)
+
+    def test_negative_index(self):
+        cal = WeeklyCalendar()
+        assert cal.date_of(-1) == cal.date_of(cal.n_snapshots - 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            WeeklyCalendar().date_of(1914)
+
+    def test_index_of_roundtrip(self):
+        cal = WeeklyCalendar()
+        for idx in (0, 1, 100, 1913):
+            assert cal.index_of(cal.date_of(idx)) == idx
+
+    def test_index_of_mid_week(self):
+        cal = WeeklyCalendar()
+        assert cal.index_of(dt.date(1981, 10, 25)) == 0
+
+    def test_index_of_before_start(self):
+        with pytest.raises(ValueError, match="precedes"):
+            WeeklyCalendar().index_of(dt.date(1981, 1, 1))
+
+    def test_index_of_after_end(self):
+        with pytest.raises(ValueError, match="after"):
+            WeeklyCalendar().index_of(dt.date(2030, 1, 1))
+
+
+class TestIndicesBetween:
+    def test_assessment_window_size(self):
+        # Paper Table I window: 2015-04-05 .. 2018-06-24 (~168 weeks).
+        cal = WeeklyCalendar()
+        rng = cal.indices_between(dt.date(2015, 4, 5), dt.date(2018, 6, 24))
+        assert 160 <= len(rng) <= 172
+
+    def test_single_week(self):
+        cal = WeeklyCalendar()
+        d = cal.date_of(100)
+        rng = cal.indices_between(d, d)
+        assert list(rng) == [100]
+
+    def test_inverted_range_rejected(self):
+        cal = WeeklyCalendar()
+        with pytest.raises(ValueError, match="precedes"):
+            cal.indices_between(dt.date(2000, 1, 2), dt.date(2000, 1, 1))
+
+    def test_clamped_to_archive(self):
+        cal = WeeklyCalendar(n_snapshots=10)
+        rng = cal.indices_between(dt.date(1981, 1, 1), dt.date(2030, 1, 1))
+        assert rng.start == 0 and rng.stop == 10
+
+
+class TestValidation:
+    def test_nonpositive_snapshots(self):
+        with pytest.raises(ValueError):
+            WeeklyCalendar(n_snapshots=0)
+
+    def test_cutoff_before_start(self):
+        assert WeeklyCalendar().train_test_split_index(1980) == 0
+
+    def test_cutoff_after_end_clamps(self):
+        cal = WeeklyCalendar(n_snapshots=10)
+        assert cal.train_test_split_index(2030) == 10

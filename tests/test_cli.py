@@ -1,0 +1,31 @@
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_every_paper_artifact_has_an_entry(self):
+        assert set(EXPERIMENTS) == {"fig3", "fig4", "fig5", "fig6", "fig7",
+                                    "fig8", "fig9", "table1", "table2",
+                                    "table3"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--preset", "huge"])
+
+    def test_runs_an_experiment(self, capsys):
+        # fig4 is the lightest driver (search over the surrogate only).
+        assert main(["fig4", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "best AE-discovered architecture" in out
+        assert "layer ops" in out

@@ -1,0 +1,54 @@
+import numpy as np
+
+from repro.experiments.reporting import (
+    describe_distribution,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1.5, "x"], [2.25, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "1.500" in text and "yy" in text
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_float_format(self):
+        text = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in text and "1.23" not in text
+
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["long-name", 1], ["s", 2]])
+        lines = text.splitlines()
+        assert len(lines[2]) >= len("long-name")
+
+
+class TestFormatSeries:
+    def test_checkpoints(self):
+        times = np.arange(10) * 60.0
+        values = np.linspace(0, 1, 10)
+        text = format_series(times, values, label="traj", checkpoints=3)
+        assert text.startswith("traj:")
+        assert "0min" in text and "9min" in text
+
+    def test_empty(self):
+        assert "(empty)" in format_series([], [], label="x")
+
+
+class TestDescribeDistribution:
+    def test_contents(self):
+        text = describe_distribution([1.0, 2.0, 3.0], label="r")
+        assert "mean=2.0000" in text
+        assert "min=1.0000" in text and "max=3.0000" in text
+
+    def test_empty(self):
+        assert "(empty)" in describe_distribution([], label="x")

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.forecast import PODCoefficientPipeline
+from repro.forecast.scaling import StandardScaler
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def fitted(self, train_snapshots):
+        return PODCoefficientPipeline(n_modes=4, window=6).fit(
+            train_snapshots)
+
+    def test_transform_shape(self, fitted, train_snapshots):
+        scaled = fitted.transform(train_snapshots)
+        assert scaled.shape == (4, train_snapshots.shape[1])
+
+    def test_training_data_scaled_into_head_range(self, fitted,
+                                                  train_snapshots):
+        scaled = fitted.transform(train_snapshots)
+        assert np.abs(scaled).max() <= 0.85 + 1e-9
+
+    def test_inverse_roundtrip(self, fitted, train_snapshots):
+        scaled = fitted.transform(train_snapshots)
+        raw = fitted.coefficients(train_snapshots)
+        np.testing.assert_allclose(fitted.inverse(scaled), raw, atol=1e-8)
+
+    def test_reconstruct_approximates_snapshots(self, fitted,
+                                                train_snapshots):
+        scaled = fitted.transform(train_snapshots)
+        recon = fitted.reconstruct(scaled)
+        rel = (np.linalg.norm(recon - train_snapshots)
+               / np.linalg.norm(train_snapshots))
+        assert rel < 0.1
+
+    def test_windows_geometry(self, fitted, train_snapshots):
+        examples = fitted.windows_from_snapshots(train_snapshots)
+        assert examples.window == 6
+        assert examples.n_features == 4
+        assert examples.n_examples == train_snapshots.shape[1] - 12 + 1
+
+    def test_energy_fraction(self, fitted):
+        assert 0.5 < fitted.energy_fraction <= 1.0
+
+    def test_use_before_fit(self, train_snapshots):
+        pipe = PODCoefficientPipeline()
+        with pytest.raises(RuntimeError):
+            pipe.transform(train_snapshots)
+
+    def test_custom_scaler(self, train_snapshots):
+        pipe = PODCoefficientPipeline(n_modes=3, scaler=StandardScaler())
+        pipe.fit(train_snapshots)
+        scaled = pipe.transform(train_snapshots)
+        np.testing.assert_allclose(scaled.std(axis=1), 1.0, atol=1e-9)
+
+    def test_consistent_across_fits(self, train_snapshots):
+        a = PODCoefficientPipeline(n_modes=3).fit(train_snapshots)
+        b = PODCoefficientPipeline(n_modes=3).fit(train_snapshots)
+        np.testing.assert_allclose(a.transform(train_snapshots),
+                                   b.transform(train_snapshots))

@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.baselines import build_manual_lstm
+from repro.forecast import PODLSTMEmulator
+from repro.nn.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def fitted_emulator(generator):
+    """Small emulator trained briefly on 160 snapshots (module-scoped:
+    training is the expensive part)."""
+    snaps = generator.snapshots(np.arange(160))
+    emulator = PODLSTMEmulator(
+        n_modes=3, window=4,
+        trainer=Trainer(epochs=25, batch_size=32, learning_rate=0.003))
+    net = build_manual_lstm(16, 1, input_dim=3, output_dim=3, rng=0)
+    emulator.fit(snaps, network=net, rng=0)
+    return emulator, snaps
+
+
+class TestFit:
+    def test_history_recorded(self, fitted_emulator):
+        emulator, _ = fitted_emulator
+        assert emulator.history.n_epochs == 25
+        assert np.isfinite(emulator.validation_r2)
+
+    def test_learns_something(self, fitted_emulator):
+        emulator, snaps = fitted_emulator
+        assert emulator.score(snaps) > 0.3
+
+    def test_default_network(self, generator):
+        snaps = generator.snapshots(np.arange(40))
+        emulator = PODLSTMEmulator(n_modes=2, window=3,
+                                   trainer=Trainer(epochs=1, batch_size=16))
+        emulator.fit(snaps, rng=0)
+        assert emulator.network is not None
+
+    def test_wrong_network_dim_rejected(self, generator):
+        snaps = generator.snapshots(np.arange(40))
+        emulator = PODLSTMEmulator(n_modes=2, window=3,
+                                   trainer=Trainer(epochs=1))
+        bad = build_manual_lstm(8, 1, input_dim=5, output_dim=5, rng=0)
+        with pytest.raises(ValueError, match="input_dim"):
+            emulator.fit(snaps, network=bad, rng=0)
+
+    def test_use_before_fit(self, generator):
+        emulator = PODLSTMEmulator()
+        with pytest.raises(RuntimeError):
+            emulator.predict_windows(np.zeros((1, 8, 5)))
+        with pytest.raises(RuntimeError):
+            emulator.validation_r2
+
+
+class TestForecastSeries:
+    def test_alignment(self, fitted_emulator):
+        """Lead-h forecast of time index t comes from the window starting
+        at t - K - h + 1; returned time indices must reflect that."""
+        emulator, snaps = fitted_emulator
+        k = emulator.pipeline.window
+        for horizon in (1, k):
+            times, pred, actual = emulator.forecast_coefficient_series(
+                snaps, horizon=horizon)
+            assert times[0] == k + horizon - 1
+            assert times[-1] == snaps.shape[1] - k + horizon - 1
+            assert pred.shape == actual.shape
+
+    def test_actuals_match_pipeline_projection(self, fitted_emulator):
+        emulator, snaps = fitted_emulator
+        times, _, actual = emulator.forecast_coefficient_series(snaps, 1)
+        raw = emulator.pipeline.coefficients(snaps)
+        np.testing.assert_allclose(actual, raw[:, times], atol=1e-8)
+
+    def test_all_horizons_finite_and_consistent(self, fitted_emulator):
+        """Every lead produces finite predictions; note that in the
+        paper's seq2seq formulation output position h-1 has seen h input
+        steps, so lead-1 is the *least*-informed forecast, not the most
+        (the flat-to-increasing rows of Table I reflect this)."""
+        emulator, snaps = fitted_emulator
+        k = emulator.pipeline.window
+        sizes = []
+        for horizon in range(1, k + 1):
+            _, pred, actual = emulator.forecast_coefficient_series(
+                snaps, horizon)
+            assert np.isfinite(pred).all()
+            sizes.append(pred.shape[1])
+        assert len(set(sizes)) == 1  # same window count at every lead
+
+    def test_invalid_horizon(self, fitted_emulator):
+        emulator, snaps = fitted_emulator
+        with pytest.raises(ValueError):
+            emulator.forecast_coefficient_series(snaps, horizon=0)
+        with pytest.raises(ValueError):
+            emulator.forecast_coefficient_series(
+                snaps, horizon=emulator.pipeline.window + 1)
+
+
+class TestForecastFields:
+    def test_field_shape(self, fitted_emulator, generator):
+        emulator, snaps = fitted_emulator
+        times, fields = emulator.forecast_fields(snaps, horizon=1)
+        assert fields.shape == (generator.n_ocean, times.size)
+
+    def test_fields_physical(self, fitted_emulator):
+        emulator, snaps = fitted_emulator
+        _, fields = emulator.forecast_fields(snaps, horizon=1)
+        assert np.isfinite(fields).all()
+        assert fields.min() > -20 and fields.max() < 50
+
+    def test_forecast_error_bounded_by_truncation_plus_model(
+            self, fitted_emulator, generator):
+        """Field forecast RMSE is at least the POD truncation error but
+        within a sane multiple of it."""
+        emulator, snaps = fitted_emulator
+        times, fields = emulator.forecast_fields(snaps, horizon=1)
+        truth = snaps[:, times]
+        rmse = np.sqrt(np.mean((fields - truth) ** 2))
+        # Truncation-only reconstruction error:
+        scaled = emulator.pipeline.transform(snaps[:, times])
+        recon = emulator.pipeline.reconstruct(scaled)
+        trunc = np.sqrt(np.mean((recon - truth) ** 2))
+        assert rmse >= trunc * 0.9
+        assert rmse <= trunc * 6.0
+
+
+class TestScore:
+    def test_score_in_range(self, fitted_emulator):
+        emulator, snaps = fitted_emulator
+        assert emulator.score(snaps) <= 1.0
+
+    def test_score_on_new_period(self, fitted_emulator, generator):
+        emulator, _ = fitted_emulator
+        later = generator.snapshots(np.arange(160, 260))
+        score = emulator.score(later)
+        assert np.isfinite(score)

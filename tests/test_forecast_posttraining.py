@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+
+from repro.forecast import posttrain_architecture
+from repro.nas.space import StackedLSTMSpace
+from repro.nas.space.ops import Operation
+
+
+@pytest.fixture(scope="module")
+def tiny_space():
+    ops = (Operation("identity"), Operation("lstm", 6),
+           Operation("lstm", 10))
+    return StackedLSTMSpace(n_layers=2, input_dim=3, output_dim=3,
+                            operations=ops)
+
+
+class TestPosttraining:
+    def test_returns_fitted_emulator(self, tiny_space, generator):
+        snaps = generator.snapshots(np.arange(60))
+        arch = tiny_space.random_architecture(np.random.default_rng(0))
+        emulator = posttrain_architecture(tiny_space, arch, snaps,
+                                          epochs=3, rng=0)
+        assert emulator.history.n_epochs == 3
+        assert emulator.pipeline.n_modes == 3
+
+    def test_longer_posttraining_does_not_hurt_validation(self, tiny_space,
+                                                          generator):
+        """Paper Sec. IV-B: retraining longer improves the best arch."""
+        snaps = generator.snapshots(np.arange(120))
+        arch = (1, 2) + (0,) * tiny_space.n_skip_nodes
+        short = posttrain_architecture(tiny_space, arch, snaps, epochs=3,
+                                       rng=0)
+        long = posttrain_architecture(tiny_space, arch, snaps, epochs=30,
+                                      rng=0)
+        assert long.validation_r2 >= short.validation_r2 - 0.02
+
+    def test_deterministic(self, tiny_space, generator):
+        snaps = generator.snapshots(np.arange(60))
+        arch = (1, 1) + (0,) * tiny_space.n_skip_nodes
+        a = posttrain_architecture(tiny_space, arch, snaps, epochs=2, rng=5)
+        b = posttrain_architecture(tiny_space, arch, snaps, epochs=2, rng=5)
+        assert a.validation_r2 == b.validation_r2

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.data.grid import EASTERN_PACIFIC, LatLonGrid, Region
+
+
+class TestLatLonGrid:
+    def test_noaa_shape(self):
+        grid = LatLonGrid(degrees=1.0)
+        assert grid.shape == (180, 360)
+        assert grid.n_cells == 64800
+
+    def test_coarse_shape(self):
+        assert LatLonGrid(degrees=4.0).shape == (45, 90)
+
+    def test_invalid_degrees(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(degrees=7.0)  # does not divide 180
+
+    def test_nonpositive_degrees(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(degrees=0.0)
+
+    def test_lat_centers(self):
+        lats = LatLonGrid(degrees=1.0).lats
+        assert lats[0] == -89.5
+        assert lats[-1] == 89.5
+        assert np.allclose(np.diff(lats), 1.0)
+
+    def test_lon_centers(self):
+        lons = LatLonGrid(degrees=1.0).lons
+        assert lons[0] == 0.5
+        assert lons[-1] == 359.5
+
+    def test_mesh_shapes(self):
+        grid = LatLonGrid(degrees=12.0)
+        lat2d, lon2d = grid.mesh()
+        assert lat2d.shape == grid.shape
+        assert lon2d.shape == grid.shape
+        # latitude varies along axis 0 only
+        assert np.allclose(lat2d[:, 0], lat2d[:, -1])
+        assert np.allclose(lon2d[0, :], lon2d[-1, :])
+
+    def test_nearest_index_center(self):
+        grid = LatLonGrid(degrees=1.0)
+        i, j = grid.nearest_index(0.5, 200.5)
+        assert grid.lats[i] == 0.5
+        assert grid.lons[j] == 200.5
+
+    def test_nearest_index_wraps_longitude(self):
+        grid = LatLonGrid(degrees=1.0)
+        i1, j1 = grid.nearest_index(10.0, 365.0)
+        i2, j2 = grid.nearest_index(10.0, 5.0)
+        assert (i1, j1) == (i2, j2)
+
+    def test_nearest_index_pole_clamped(self):
+        grid = LatLonGrid(degrees=1.0)
+        i, _ = grid.nearest_index(90.0, 0.0)
+        assert i == grid.n_lat - 1
+
+    def test_nearest_index_invalid_lat(self):
+        with pytest.raises(ValueError):
+            LatLonGrid().nearest_index(91.0, 0.0)
+
+
+class TestRegion:
+    def test_eastern_pacific_definition(self):
+        # The paper's assessment box.
+        assert EASTERN_PACIFIC.lat_min == -10.0
+        assert EASTERN_PACIFIC.lat_max == 10.0
+        assert EASTERN_PACIFIC.lon_min == 200.0
+        assert EASTERN_PACIFIC.lon_max == 250.0
+
+    def test_mask_shape_and_counts(self):
+        grid = LatLonGrid(degrees=1.0)
+        mask = EASTERN_PACIFIC.mask(grid)
+        assert mask.shape == grid.shape
+        # 20 degrees of latitude x 50 of longitude at 1 degree.
+        assert mask.sum() == 20 * 50
+
+    def test_mask_contains_center(self):
+        grid = LatLonGrid(degrees=1.0)
+        i, j = grid.nearest_index(0.0, 225.0)
+        assert EASTERN_PACIFIC.mask(grid)[i, j]
+
+    def test_mask_excludes_outside(self):
+        grid = LatLonGrid(degrees=1.0)
+        i, j = grid.nearest_index(40.0, 225.0)
+        assert not EASTERN_PACIFIC.mask(grid)[i, j]
+
+    def test_invalid_region(self):
+        with pytest.raises(ValueError):
+            Region(lat_min=10, lat_max=-10, lon_min=0, lon_max=10)
+        with pytest.raises(ValueError):
+            Region(lat_min=-10, lat_max=10, lon_min=20, lon_max=10)

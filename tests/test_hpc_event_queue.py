@@ -1,0 +1,75 @@
+import pytest
+
+from repro.hpc.event_queue import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5.0, lambda: log.append("b"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(9.0, lambda: log.append("c"))
+        q.run_until(10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_tie_broken_by_insertion(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(1.0, lambda: log.append(2))
+        q.run_until(2.0)
+        assert log == [1, 2]
+
+    def test_clock_advances_to_end(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run_until(50.0)
+        assert q.now == 50.0
+
+    def test_events_beyond_horizon_not_run(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5.0, lambda: log.append("late"))
+        q.run_until(3.0)
+        assert log == []
+        assert q.pending == 1
+        q.run_until(6.0)
+        assert log == ["late"]
+
+    def test_callbacks_can_schedule(self):
+        q = EventQueue()
+        log = []
+
+        def recur():
+            log.append(q.now)
+            if q.now < 5.0:
+                q.schedule(1.0, recur)
+
+        q.schedule(1.0, recur)
+        q.run_until(10.0)
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_schedule_at_absolute(self):
+        q = EventQueue()
+        log = []
+        q.schedule_at(4.0, lambda: log.append(q.now))
+        q.run_until(10.0)
+        assert log == [4.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_past_schedule_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.run_until(5.0)
+        with pytest.raises(ValueError):
+            q.schedule_at(2.0, lambda: None)
+
+    def test_run_backwards_rejected(self):
+        q = EventQueue()
+        q.run_until(5.0)
+        with pytest.raises(ValueError):
+            q.run_until(1.0)

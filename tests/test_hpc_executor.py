@@ -1,0 +1,159 @@
+import numpy as np
+import pytest
+
+from repro.hpc import (
+    ClusterConfig,
+    ThetaPartition,
+    run_asynchronous_search,
+    run_search,
+    run_synchronous_rl_search,
+)
+from repro.nas import (
+    AgingEvolution,
+    ArchitecturePerformanceModel,
+    DistributedRL,
+    RandomSearch,
+    SurrogateEvaluator,
+)
+
+
+@pytest.fixture()
+def evaluator(small_space):
+    model = ArchitecturePerformanceModel(small_space, seed=0)
+    return SurrogateEvaluator(small_space, model)
+
+
+PARTITION = ThetaPartition(n_nodes=12, wall_seconds=2000.0)
+
+
+class TestAsynchronousExecutor:
+    def test_runs_and_counts(self, small_space, evaluator):
+        rs = RandomSearch(small_space, rng=0)
+        tracker = run_asynchronous_search(rs, evaluator, PARTITION, rng=0)
+        assert tracker.n_evaluations > 0
+        assert rs.n_told == tracker.n_evaluations
+
+    def test_utilization_high_without_barriers(self, small_space, evaluator):
+        rs = RandomSearch(small_space, rng=0)
+        tracker = run_asynchronous_search(rs, evaluator, PARTITION, rng=0)
+        assert tracker.node_utilization() > 0.8
+
+    def test_perfect_utilization_without_overhead(self, small_space,
+                                                  evaluator):
+        rs = RandomSearch(small_space, rng=0)
+        cluster = ClusterConfig(launch_overhead_mean=0.0)
+        tracker = run_asynchronous_search(rs, evaluator, PARTITION,
+                                          cluster=cluster, rng=0)
+        assert tracker.node_utilization() > 0.99
+
+    def test_deterministic(self, small_space):
+        def run():
+            model = ArchitecturePerformanceModel(small_space, seed=0)
+            ev = SurrogateEvaluator(small_space, model)
+            ae = AgingEvolution(small_space, rng=3, population_size=10,
+                                sample_size=3)
+            return run_asynchronous_search(ae, ev, PARTITION, rng=5)
+
+        t1, t2 = run(), run()
+        assert t1.n_evaluations == t2.n_evaluations
+        assert [r.reward for r in t1.records] == \
+            [r.reward for r in t2.records]
+
+    def test_evaluations_fit_inside_wall(self, small_space, evaluator):
+        rs = RandomSearch(small_space, rng=0)
+        tracker = run_asynchronous_search(rs, evaluator, PARTITION, rng=0)
+        assert all(r.end_time <= PARTITION.wall_seconds
+                   for r in tracker.records)
+
+    def test_rejects_synchronous_algorithm(self, small_space, evaluator):
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=2)
+        with pytest.raises(ValueError):
+            run_asynchronous_search(rl, evaluator, PARTITION)
+
+
+class TestSynchronousExecutor:
+    def make_rl(self, small_space, n_nodes=12, n_agents=2):
+        from repro.hpc.theta import rl_node_allocation
+        wpa = rl_node_allocation(n_nodes, n_agents).workers_per_agent
+        return DistributedRL(small_space, rng=0, n_agents=n_agents,
+                             workers_per_agent=wpa)
+
+    def test_runs_rounds(self, small_space, evaluator):
+        rl = self.make_rl(small_space)
+        tracker = run_synchronous_rl_search(rl, evaluator, PARTITION, rng=1)
+        assert tracker.n_evaluations > 0
+        # Complete rounds only: multiples of total worker count.
+        assert rl.round_index >= 1
+
+    def test_utilization_below_asynchronous(self, small_space, evaluator):
+        rl = self.make_rl(small_space)
+        sync_tracker = run_synchronous_rl_search(rl, evaluator, PARTITION,
+                                                 rng=1)
+        rs = RandomSearch(small_space, rng=0)
+        async_tracker = run_asynchronous_search(rs, evaluator, PARTITION,
+                                                rng=1)
+        assert sync_tracker.node_utilization() < \
+            async_tracker.node_utilization()
+
+    def test_fewer_evaluations_than_asynchronous(self, small_space,
+                                                 evaluator):
+        rl = self.make_rl(small_space)
+        sync_tracker = run_synchronous_rl_search(rl, evaluator, PARTITION,
+                                                 rng=1)
+        rs = RandomSearch(small_space, rng=0)
+        async_tracker = run_asynchronous_search(rs, evaluator, PARTITION,
+                                                rng=1)
+        assert sync_tracker.n_evaluations < async_tracker.n_evaluations
+
+    def test_allocation_mismatch_rejected(self, small_space, evaluator):
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=99)
+        with pytest.raises(ValueError, match="workers/agent"):
+            run_synchronous_rl_search(rl, evaluator, PARTITION)
+
+    def test_rejects_asynchronous_algorithm(self, small_space, evaluator):
+        rs = RandomSearch(small_space, rng=0)
+        with pytest.raises(ValueError):
+            run_synchronous_rl_search(rs, evaluator, PARTITION)
+
+
+class TestRunSearchDispatch:
+    def test_dispatches_async(self, small_space, evaluator):
+        tracker = run_search(RandomSearch(small_space, rng=0), evaluator,
+                             PARTITION, rng=0)
+        assert tracker.n_evaluations > 0
+
+    def test_dispatches_sync(self, small_space, evaluator):
+        from repro.hpc.theta import rl_node_allocation
+        wpa = rl_node_allocation(12, 2).workers_per_agent
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=wpa)
+        tracker = run_search(rl, evaluator, PARTITION, rng=0)
+        assert tracker.n_evaluations > 0
+
+    def test_unknown_synchronous_type(self, small_space, evaluator):
+        class Fake:
+            asynchronous = False
+
+        with pytest.raises(TypeError):
+            run_search(Fake(), evaluator, PARTITION)
+
+
+class TestClusterConfig:
+    def test_overhead_mean_preserving(self):
+        cfg = ClusterConfig(launch_overhead_mean=10.0,
+                            launch_overhead_sigma=0.5)
+        rng = np.random.default_rng(0)
+        draws = [cfg.sample_launch_overhead(rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_zero_overhead(self):
+        cfg = ClusterConfig(launch_overhead_mean=0.0)
+        assert cfg.sample_launch_overhead(np.random.default_rng(0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(launch_overhead_mean=-1.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(rl_update_seconds=-1.0)

@@ -1,0 +1,119 @@
+"""Failure injection: the searches must survive dying evaluations."""
+
+import numpy as np
+import pytest
+
+from repro.hpc import (
+    ClusterConfig,
+    ThetaPartition,
+    run_asynchronous_search,
+    run_synchronous_rl_search,
+)
+from repro.hpc.theta import rl_node_allocation
+from repro.nas import (
+    AgingEvolution,
+    ArchitecturePerformanceModel,
+    DistributedRL,
+    RandomSearch,
+    SurrogateEvaluator,
+)
+
+PARTITION = ThetaPartition(n_nodes=12, wall_seconds=3000.0)
+
+
+@pytest.fixture()
+def evaluator(small_space):
+    return SurrogateEvaluator(
+        small_space, ArchitecturePerformanceModel(small_space, seed=0))
+
+
+class TestFailureConfig:
+    def test_zero_rate_never_fails(self):
+        cfg = ClusterConfig(failure_rate=0.0)
+        rng = np.random.default_rng(0)
+        assert all(cfg.sample_failure(rng) is None for _ in range(100))
+
+    def test_rate_respected(self):
+        cfg = ClusterConfig(failure_rate=0.3)
+        rng = np.random.default_rng(0)
+        fails = sum(cfg.sample_failure(rng) is not None
+                    for _ in range(3000))
+        assert 700 < fails < 1100
+
+    def test_fraction_in_range(self):
+        cfg = ClusterConfig(failure_rate=0.99)
+        rng = np.random.default_rng(0)
+        fracs = [cfg.sample_failure(rng) for _ in range(200)]
+        fracs = [f for f in fracs if f is not None]
+        assert all(0.05 <= f <= 1.0 for f in fracs)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(failure_rate=1.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(failure_rate=-0.1)
+
+
+class TestAsynchronousUnderFailures:
+    def test_search_completes_and_counts_failures(self, small_space,
+                                                  evaluator):
+        cluster = ClusterConfig(failure_rate=0.25)
+        ae = AgingEvolution(small_space, rng=0, population_size=10,
+                            sample_size=3)
+        tracker = run_asynchronous_search(ae, evaluator, PARTITION,
+                                          cluster=cluster, rng=1)
+        assert tracker.n_failures > 0
+        assert tracker.n_evaluations > 0
+        # Only successful evaluations reach the algorithm.
+        assert ae.n_told == tracker.n_evaluations
+
+    def test_throughput_degrades_gracefully(self, small_space, evaluator):
+        def completed(rate):
+            rs = RandomSearch(small_space, rng=0)
+            tracker = run_asynchronous_search(
+                rs, evaluator, PARTITION,
+                cluster=ClusterConfig(failure_rate=rate), rng=1)
+            return tracker.n_evaluations
+
+        clean = completed(0.0)
+        faulty = completed(0.3)
+        # Failures cost throughput, but far from everything: failed runs
+        # die partway and the node immediately recycles.
+        assert 0.4 * clean < faulty < clean
+
+    def test_search_quality_robust(self, small_space, evaluator):
+        """AE still finds good architectures with 20% failures."""
+        ae = AgingEvolution(small_space, rng=0, population_size=10,
+                            sample_size=3)
+        tracker = run_asynchronous_search(
+            ae, evaluator, PARTITION,
+            cluster=ClusterConfig(failure_rate=0.2), rng=1)
+        assert ae.best_reward > 0.9
+
+
+class TestSynchronousUnderFailures:
+    def test_barrier_survives_failures(self, small_space, evaluator):
+        wpa = rl_node_allocation(12, 2).workers_per_agent
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=wpa)
+        cluster = ClusterConfig(failure_rate=0.25, failure_reward=0.0)
+        tracker = run_synchronous_rl_search(rl, evaluator, PARTITION,
+                                            cluster=cluster, rng=1)
+        # Rounds keep completing despite dead workers (no deadlock).
+        assert rl.round_index >= 2
+        assert tracker.n_failures > 0
+
+    def test_failure_rewards_not_recorded_as_evaluations(self, small_space,
+                                                         evaluator):
+        wpa = rl_node_allocation(12, 2).workers_per_agent
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=wpa)
+        cluster = ClusterConfig(failure_rate=0.25)
+        tracker = run_synchronous_rl_search(rl, evaluator, PARTITION,
+                                            cluster=cluster, rng=1)
+        # Completed evaluations + failures == total dispatched work that
+        # finished before the wall (each worker slot resolves exactly once
+        # per completed round).
+        per_round = 2 * wpa
+        resolved = tracker.n_evaluations + tracker.n_failures
+        assert resolved >= rl.round_index * per_round

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.hpc.theta import (
+    PAPER_NODE_COUNTS,
+    ThetaPartition,
+    rl_node_allocation,
+)
+
+
+class TestThetaPartition:
+    def test_ideal_node_seconds(self):
+        part = ThetaPartition(n_nodes=128)
+        assert part.ideal_node_seconds == 128 * 3 * 3600.0
+
+    def test_paper_node_counts(self):
+        assert PAPER_NODE_COUNTS == (33, 64, 128, 256, 512)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThetaPartition(n_nodes=0)
+        with pytest.raises(ValueError):
+            ThetaPartition(n_nodes=4, wall_seconds=0)
+
+
+class TestRLAllocation:
+    @pytest.mark.parametrize("nodes,wpa,used,idle", [
+        (33, 2, 33, 0),      # paper Sec. IV
+        (64, 4, 55, 9),
+        (128, 10, 121, 7),
+        (256, 22, 253, 3),
+        (512, 45, 506, 6),
+    ])
+    def test_paper_allocations(self, nodes, wpa, used, idle):
+        alloc = rl_node_allocation(nodes)
+        assert alloc.n_agents == 11
+        assert alloc.workers_per_agent == wpa
+        assert alloc.n_used == used
+        assert alloc.n_idle(nodes) == idle
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            rl_node_allocation(11)
+        with pytest.raises(ValueError):
+            rl_node_allocation(12, n_agents=12)
+
+    def test_custom_agents(self):
+        alloc = rl_node_allocation(10, n_agents=2)
+        assert alloc.workers_per_agent == 4
+        assert alloc.n_used == 10

@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.hpc.tracking import EvaluationRecord, SearchTracker
+
+
+def record(arch, reward, start, end, node=0, params=100):
+    return EvaluationRecord(architecture=tuple(arch), reward=reward,
+                            start_time=start, end_time=end, node=node,
+                            n_parameters=params)
+
+
+class TestUtilization:
+    def test_fully_busy(self):
+        tr = SearchTracker(n_nodes=2, wall_seconds=100.0)
+        for node in range(2):
+            tr.node_busy(0.0)
+            tr.node_idle(100.0)
+        assert tr.node_utilization() == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        tr.node_busy(0.0)
+        tr.node_idle(50.0)
+        assert tr.node_utilization() == pytest.approx(0.5)
+
+    def test_idle_forever(self):
+        tr = SearchTracker(n_nodes=4, wall_seconds=10.0)
+        assert tr.node_utilization() == 0.0
+
+    def test_busy_past_wall_clipped(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        tr.node_busy(90.0)
+        tr.node_idle(500.0)  # evaluation would finish after the wall
+        assert tr.node_utilization() == pytest.approx(0.1)
+
+    def test_overlapping_nodes(self):
+        tr = SearchTracker(n_nodes=2, wall_seconds=10.0)
+        tr.node_busy(0.0)
+        tr.node_busy(5.0)
+        tr.node_idle(10.0)
+        tr.node_idle(10.0)
+        assert tr.node_utilization() == pytest.approx(0.75)
+
+    def test_busy_curve_step_values(self):
+        tr = SearchTracker(n_nodes=2, wall_seconds=10.0)
+        tr.node_busy(2.0)
+        tr.node_busy(4.0)
+        tr.node_idle(6.0)
+        times, counts = tr.busy_curve()
+        lookup = dict(zip(times.tolist(), counts.tolist()))
+        assert lookup[2.0] == 1
+        assert lookup[4.0] == 2
+        assert lookup[6.0] == 1
+
+
+class TestTrajectories:
+    def test_reward_trajectory_sorted_and_smoothed(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        tr.record_evaluation(record((2,), 0.4, 10, 30))
+        tr.record_evaluation(record((1,), 0.2, 0, 20))
+        times, rewards = tr.reward_trajectory(window=100)
+        np.testing.assert_allclose(times, [20.0, 30.0])
+        np.testing.assert_allclose(rewards, [0.2, 0.3])
+
+    def test_best_reward_curve(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        for i, r in enumerate([0.3, 0.5, 0.2, 0.6]):
+            tr.record_evaluation(record((i,), r, i, i + 1))
+        _, best = tr.best_reward_curve()
+        np.testing.assert_allclose(best, [0.3, 0.5, 0.5, 0.6])
+
+    def test_empty_trajectory(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=10.0)
+        times, rewards = tr.reward_trajectory()
+        assert times.size == 0 and rewards.size == 0
+
+
+class TestHighPerformers:
+    def test_unique_counting(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        tr.record_evaluation(record((1,), 0.97, 0, 1))
+        tr.record_evaluation(record((1,), 0.98, 1, 2))   # duplicate arch
+        tr.record_evaluation(record((2,), 0.99, 2, 3))
+        tr.record_evaluation(record((3,), 0.90, 3, 4))   # below threshold
+        assert tr.n_unique_high_performers(0.96) == 2
+
+    def test_cumulative_curve(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        tr.record_evaluation(record((1,), 0.97, 0, 1))
+        tr.record_evaluation(record((2,), 0.99, 2, 3))
+        times, counts = tr.unique_high_performers(0.96)
+        np.testing.assert_allclose(times, [1.0, 3.0])
+        np.testing.assert_allclose(counts, [1, 2])
+
+    def test_threshold_sensitivity(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        tr.record_evaluation(record((1,), 0.95, 0, 1))
+        assert tr.n_unique_high_performers(0.96) == 0
+        assert tr.n_unique_high_performers(0.90) == 1
+
+
+class TestDurations:
+    def test_mean_evaluation_seconds(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        tr.record_evaluation(record((1,), 0.9, 0, 10))
+        tr.record_evaluation(record((2,), 0.9, 0, 30))
+        assert tr.mean_evaluation_seconds() == pytest.approx(20.0)
+
+    def test_mean_of_empty_is_nan(self):
+        tr = SearchTracker(n_nodes=1, wall_seconds=100.0)
+        assert np.isnan(tr.mean_evaluation_seconds())
+
+    def test_record_duration(self):
+        assert record((1,), 0.5, 3.0, 7.5).duration == 4.5

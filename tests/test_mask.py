@@ -1,0 +1,56 @@
+import numpy as np
+
+from repro.data.grid import EASTERN_PACIFIC, LatLonGrid
+from repro.data.mask import synthetic_land_mask
+
+
+class TestSyntheticLandMask:
+    def test_shape(self, coarse_grid):
+        assert synthetic_land_mask(coarse_grid).shape == coarse_grid.shape
+
+    def test_deterministic(self, coarse_grid):
+        a = synthetic_land_mask(coarse_grid)
+        b = synthetic_land_mask(coarse_grid)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ocean_fraction_plausible(self):
+        mask = synthetic_land_mask(LatLonGrid(degrees=1.0))
+        assert 0.55 < mask.mean() < 0.85
+
+    def test_eastern_pacific_is_ocean(self):
+        grid = LatLonGrid(degrees=1.0)
+        mask = synthetic_land_mask(grid)
+        assert mask[EASTERN_PACIFIC.mask(grid)].all()
+
+    def test_antarctica_is_land(self):
+        grid = LatLonGrid(degrees=1.0)
+        mask = synthetic_land_mask(grid)
+        i, j = grid.nearest_index(-85.0, 100.0)
+        assert not mask[i, j]
+
+    def test_continent_interiors_are_land(self):
+        grid = LatLonGrid(degrees=1.0)
+        mask = synthetic_land_mask(grid)
+        for lat, lon in [(45.0, 265.0),   # North America
+                         (55.0, 60.0),    # Eurasia
+                         (-25.0, 133.0),  # Australia
+                         (0.0, 20.0)]:    # Africa
+            i, j = grid.nearest_index(lat, lon)
+            assert not mask[i, j], f"expected land at ({lat}, {lon})"
+
+    def test_open_oceans_are_ocean(self):
+        grid = LatLonGrid(degrees=1.0)
+        mask = synthetic_land_mask(grid)
+        for lat, lon in [(0.0, 180.0),    # central Pacific
+                         (-30.0, 340.0),  # South Atlantic
+                         (-40.0, 80.0)]:  # southern Indian Ocean
+            i, j = grid.nearest_index(lat, lon)
+            assert mask[i, j], f"expected ocean at ({lat}, {lon})"
+
+    def test_consistent_across_resolutions(self):
+        # A point that is deep ocean at 1 degree stays ocean at 4 degrees.
+        for degrees in (1.0, 4.0):
+            grid = LatLonGrid(degrees=degrees)
+            mask = synthetic_land_mask(grid)
+            i, j = grid.nearest_index(0.0, 180.0)
+            assert mask[i, j]

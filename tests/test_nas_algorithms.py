@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.nas import (
+    AgingEvolution,
+    ArchitecturePerformanceModel,
+    RandomSearch,
+    SurrogateEvaluator,
+)
+
+
+@pytest.fixture()
+def oracle(small_space):
+    return ArchitecturePerformanceModel(small_space, seed=0, noise_std=0.002)
+
+
+def drive(algorithm, oracle, n, eval_seed=0):
+    rng = np.random.default_rng(eval_seed)
+    for _ in range(n):
+        arch = algorithm.ask()
+        algorithm.tell(arch, oracle.observed_quality(arch, rng))
+    return algorithm
+
+
+class TestRandomSearch:
+    def test_tracks_best(self, small_space, oracle):
+        rs = drive(RandomSearch(small_space, rng=0), oracle, 200)
+        assert rs.n_asked == rs.n_told == 200
+        assert rs.best_architecture is not None
+        assert rs.best_reward >= oracle.quality(rs.best_architecture) - 0.05
+
+    def test_no_feedback_adaptation(self, small_space):
+        """RS proposals are identical regardless of rewards."""
+        rs1 = RandomSearch(small_space, rng=5)
+        rs2 = RandomSearch(small_space, rng=5)
+        p1 = [rs1.ask() for _ in range(20)]
+        for a in p1:
+            rs1.tell(a, 1.0)
+        p2 = []
+        for _ in range(20):
+            a = rs2.ask()
+            p2.append(a)
+            rs2.tell(a, -1.0)
+        # Next proposals still agree.
+        assert p1 == p2
+        assert rs1.ask() == rs2.ask()
+
+    def test_asynchronous_flag(self, small_space):
+        assert RandomSearch(small_space).asynchronous
+
+
+class TestAgingEvolution:
+    def test_initial_phase_is_random(self, small_space):
+        ae = AgingEvolution(small_space, rng=0, population_size=10,
+                            sample_size=3)
+        for _ in range(10):
+            small_space.validate(ae.ask())
+
+    def test_population_bounded(self, small_space, oracle):
+        ae = AgingEvolution(small_space, rng=0, population_size=20,
+                            sample_size=5)
+        drive(ae, oracle, 100)
+        assert len(ae.population) == 20
+
+    def test_aging_evicts_oldest(self, small_space):
+        ae = AgingEvolution(small_space, rng=0, population_size=3,
+                            sample_size=2)
+        archs = [ae.ask() for _ in range(4)]
+        for i, a in enumerate(archs):
+            ae.tell(a, float(i))
+        # Oldest (reward 0) evicted, rewards 1..3 remain in order.
+        assert ae.population_rewards == [1.0, 2.0, 3.0]
+
+    def test_outperforms_random_on_smooth_landscape(self, small_space,
+                                                    oracle):
+        ae = drive(AgingEvolution(small_space, rng=1, population_size=30,
+                                  sample_size=8), oracle, 400, eval_seed=2)
+        rs = drive(RandomSearch(small_space, rng=1), oracle, 400,
+                   eval_seed=2)
+        # AE should find (near-)optimal true quality.
+        assert oracle.quality(ae.best_architecture) >= \
+            oracle.quality(rs.best_architecture) - 0.005
+
+    def test_late_proposals_resemble_population(self, small_space, oracle):
+        """After convergence, children are mutations of good parents."""
+        ae = AgingEvolution(small_space, rng=3, population_size=15,
+                            sample_size=5)
+        drive(ae, oracle, 300)
+        child = ae.ask()
+        # Child is hamming-1 from some population member.
+        dists = [sum(a != b for a, b in zip(child, member))
+                 for member, _ in ae.population]
+        assert min(dists) <= 1
+
+    def test_tolerates_out_of_order_tells(self, small_space, oracle):
+        """Fully asynchronous: many asks outstanding before any tell."""
+        ae = AgingEvolution(small_space, rng=0, population_size=10,
+                            sample_size=3)
+        pending = [ae.ask() for _ in range(30)]
+        rng = np.random.default_rng(0)
+        for arch in reversed(pending):
+            ae.tell(arch, oracle.observed_quality(arch, rng))
+        assert ae.n_told == 30
+        small_space.validate(ae.ask())
+
+    def test_sample_size_validation(self, small_space):
+        with pytest.raises(ValueError):
+            AgingEvolution(small_space, population_size=5, sample_size=6)
+
+    def test_repr(self, small_space):
+        assert "AgingEvolution" in repr(AgingEvolution(small_space))

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.hpc import ThetaPartition, run_asynchronous_search
+from repro.nas import (
+    AgingEvolution,
+    ArchitecturePerformanceModel,
+    DistributedRL,
+    RandomSearch,
+    SurrogateEvaluator,
+)
+from repro.nas.checkpoint import (
+    load_search,
+    restore_search,
+    save_search,
+    search_state,
+)
+
+
+@pytest.fixture()
+def oracle(small_space):
+    return ArchitecturePerformanceModel(small_space, seed=0)
+
+
+def warm_search(small_space, oracle, n=200):
+    search = AgingEvolution(small_space, rng=0, population_size=15,
+                            sample_size=5)
+    rng = np.random.default_rng(1)
+    for _ in range(n):
+        arch = search.ask()
+        search.tell(arch, oracle.observed_quality(arch, rng))
+    return search
+
+
+class TestCheckpointRoundtrip:
+    def test_state_is_json_compatible(self, small_space, oracle):
+        import json
+        state = search_state(warm_search(small_space, oracle))
+        json.dumps(state)  # must not raise
+
+    def test_population_restored(self, small_space, oracle):
+        search = warm_search(small_space, oracle)
+        restored = restore_search(search_state(search), small_space,
+                                  seed_on_resume=9)
+        assert list(restored.population) == list(search.population)
+        assert restored.best_reward == search.best_reward
+        assert restored.best_architecture == search.best_architecture
+        assert restored.n_asked == search.n_asked
+
+    def test_file_roundtrip(self, small_space, oracle, tmp_path):
+        search = warm_search(small_space, oracle)
+        path = tmp_path / "search.json"
+        save_search(search, path)
+        restored = load_search(path, small_space, seed_on_resume=9)
+        assert list(restored.population) == list(search.population)
+
+    def test_random_search_roundtrip(self, small_space, tmp_path):
+        rs = RandomSearch(small_space, rng=0)
+        for _ in range(10):
+            rs.tell(rs.ask(), 0.5)
+        path = tmp_path / "rs.json"
+        save_search(rs, path)
+        restored = load_search(path, small_space, seed_on_resume=1)
+        assert restored.n_told == 10
+        assert restored.best_reward == 0.5
+
+    def test_rl_rejected(self, small_space):
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=2)
+        with pytest.raises(TypeError):
+            search_state(rl)
+
+    def test_unknown_algorithm_in_file(self, small_space, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"algorithm": "Quantum"}')
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            load_search(path, small_space)
+
+
+class TestResumeContinuesSearch:
+    def test_resumed_search_keeps_improving(self, small_space, oracle,
+                                            tmp_path):
+        """Two half-length allocations ~ one full allocation."""
+        search = warm_search(small_space, oracle, n=150)
+        path = tmp_path / "ckpt.json"
+        save_search(search, path)
+        resumed = load_search(path, small_space, seed_on_resume=2)
+        # Proposals come from the restored population, not cold-start
+        # randoms: the ask counter is past the random-init phase.
+        child = resumed.ask()
+        dists = [sum(a != b for a, b in zip(child, member))
+                 for member, _ in resumed.population]
+        assert min(dists) <= 1
+        rng = np.random.default_rng(3)
+        for _ in range(150):
+            arch = resumed.ask()
+            resumed.tell(arch, oracle.observed_quality(arch, rng))
+        assert resumed.best_reward >= search.best_reward
+
+    def test_resume_on_simulated_cluster(self, small_space, oracle,
+                                         tmp_path):
+        """A killed allocation resumes on the DES and completes more work."""
+        evaluator = SurrogateEvaluator(small_space, oracle)
+        part = ThetaPartition(n_nodes=6, wall_seconds=1500.0)
+        search = AgingEvolution(small_space, rng=0, population_size=10,
+                                sample_size=3)
+        t1 = run_asynchronous_search(search, evaluator, part, rng=1)
+        save_search(search, tmp_path / "alloc1.json")
+        resumed = load_search(tmp_path / "alloc1.json", small_space,
+                              seed_on_resume=5)
+        t2 = run_asynchronous_search(resumed, evaluator, part, rng=2)
+        assert resumed.n_told == search.n_told + t2.n_evaluations
+        assert resumed.best_reward >= search.best_reward

@@ -1,0 +1,89 @@
+"""Hybrid-cell search space (GRU/RNN operations) — the future-work
+extension."""
+
+import numpy as np
+import pytest
+
+from repro.nas.space import (
+    Operation,
+    StackedLSTMSpace,
+    build_network,
+    describe_architecture,
+    hybrid_operations,
+)
+
+
+@pytest.fixture(scope="module")
+def hybrid_space():
+    return StackedLSTMSpace(n_layers=3, input_dim=3, output_dim=3,
+                            operations=hybrid_operations())
+
+
+class TestHybridOperations:
+    def test_catalog_contains_all_cell_kinds(self):
+        kinds = {op.kind for op in hybrid_operations()}
+        assert kinds == {"identity", "lstm", "gru", "rnn"}
+
+    def test_gate_multipliers(self):
+        assert Operation("lstm", 8).gate_multiplier == 4
+        assert Operation("gru", 8).gate_multiplier == 3
+        assert Operation("rnn", 8).gate_multiplier == 1
+
+    def test_str(self):
+        assert str(Operation("gru", 32)) == "GRU(32)"
+        assert str(Operation("rnn", 16)) == "RNN(16)"
+
+    def test_invalid_kind_still_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("transformer", 8)
+
+    def test_gru_needs_units(self):
+        with pytest.raises(ValueError):
+            Operation("gru")
+
+
+class TestHybridSpace:
+    def test_builder_param_consistency(self, hybrid_space, rng):
+        for _ in range(25):
+            arch = hybrid_space.random_architecture(rng)
+            net = build_network(hybrid_space, arch, rng=0)
+            assert net.n_parameters == hybrid_space.count_parameters(arch)
+
+    def test_network_runs(self, hybrid_space, rng):
+        arch = hybrid_space.random_architecture(rng)
+        net = build_network(hybrid_space, arch, rng=0)
+        y = net.forward(rng.standard_normal((2, 6, 3)))
+        assert y.shape == (2, 6, 3)
+        assert np.isfinite(y).all()
+
+    def test_mixed_cells_in_one_network(self, hybrid_space):
+        # ops: 1=lstm32, 4=gru32, 7=rnn32
+        arch = (1, 4, 7) + (0,) * hybrid_space.n_skip_nodes
+        net = build_network(hybrid_space, arch, rng=0)
+        names = set(net.node_names)
+        assert "lstm_1" in names and "gru_2" in names and "rnn_3" in names
+
+    def test_param_ordering_by_cell_type(self, hybrid_space):
+        """Same width: LSTM > GRU > RNN in parameters."""
+        base = (0,) * hybrid_space.n_skip_nodes
+        lstm = hybrid_space.count_parameters((1, 0, 0) + base)
+        gru = hybrid_space.count_parameters((4, 0, 0) + base)
+        rnn = hybrid_space.count_parameters((7, 0, 0) + base)
+        assert lstm > gru > rnn
+
+    def test_describe_shows_cell_kinds(self, hybrid_space):
+        arch = (1, 4, 7) + (0,) * hybrid_space.n_skip_nodes
+        text = describe_architecture(hybrid_space, arch)
+        assert "GRU(32)" in text and "RNN(32)" in text
+
+    def test_search_over_hybrid_space(self, hybrid_space):
+        """AE runs end to end over the extended space."""
+        from repro.nas import AgingEvolution, ArchitecturePerformanceModel
+        model = ArchitecturePerformanceModel(hybrid_space, seed=0)
+        ae = AgingEvolution(hybrid_space, rng=0, population_size=20,
+                            sample_size=5)
+        eval_rng = np.random.default_rng(1)
+        for _ in range(150):
+            arch = ae.ask()
+            ae.tell(arch, model.observed_quality(arch, eval_rng))
+        assert ae.best_reward > 0.9

@@ -1,0 +1,139 @@
+import numpy as np
+import pytest
+
+from repro.nas.algorithms.ppo import PPOAgent, PPOConfig
+from repro.nas.algorithms.rl_nas import DistributedRL
+from repro.nas import ArchitecturePerformanceModel
+
+
+class TestPPOConfig:
+    def test_defaults_valid(self):
+        PPOConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"clip_epsilon": 0.0}, {"clip_epsilon": 1.0},
+        {"learning_rate": 0.0}, {"update_epochs": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PPOConfig(**kwargs)
+
+
+class TestPPOAgent:
+    def test_sample_valid(self, small_space):
+        agent = PPOAgent(small_space, rng=0)
+        for _ in range(20):
+            small_space.validate(agent.sample_architecture())
+
+    def test_initial_policy_uniform(self, small_space):
+        agent = PPOAgent(small_space, rng=0)
+        # log-prob of any architecture equals -sum(log card).
+        expected = -float(np.sum(np.log(small_space.cardinalities)))
+        arch = agent.sample_architecture()
+        assert agent.log_prob(arch) == pytest.approx(expected, rel=1e-9)
+
+    def test_batch_size(self, small_space):
+        agent = PPOAgent(small_space, rng=0)
+        assert len(agent.sample_batch(7)) == 7
+        with pytest.raises(ValueError):
+            agent.sample_batch(0)
+
+    def test_update_shifts_probability_toward_reward(self, small_space):
+        """Architectures with higher reward gain probability."""
+        agent = PPOAgent(small_space, rng=0)
+        good = (1,) * len(small_space.cardinalities)
+        bad = (0,) * len(small_space.cardinalities)
+        before = agent.log_prob(good)
+        for _ in range(20):
+            agent.update([good, bad], [1.0, 0.0])
+        assert agent.log_prob(good) > before
+        assert agent.log_prob(good) > agent.log_prob(bad)
+
+    def test_value_baseline_tracks_rewards(self, small_space):
+        agent = PPOAgent(small_space, rng=0)
+        batch = agent.sample_batch(8)
+        for _ in range(50):
+            agent.update(batch, [0.8] * 8)
+        assert agent.value_baseline == pytest.approx(0.8, abs=0.05)
+
+    def test_entropy_decreases_with_exploitation(self, small_space):
+        agent = PPOAgent(small_space, rng=0)
+        initial = agent.policy_entropy()
+        target = tuple(c - 1 for c in small_space.cardinalities)
+        others = [agent.sample_architecture() for _ in range(7)]
+        for _ in range(30):
+            batch = [target] + others
+            agent.update(batch, [1.0] + [0.0] * 7)
+        assert agent.policy_entropy() < initial
+
+    def test_gradient_batch_mismatch(self, small_space):
+        agent = PPOAgent(small_space, rng=0)
+        with pytest.raises(ValueError):
+            agent.compute_gradients([agent.sample_architecture()], [])
+
+    def test_apply_gradient_shape_check(self, small_space):
+        agent = PPOAgent(small_space, rng=0)
+        with pytest.raises(ValueError):
+            agent.apply_gradients([np.zeros(2)], 0.0)
+
+
+class TestDistributedRL:
+    def test_round_geometry(self, small_space):
+        rl = DistributedRL(small_space, rng=0, n_agents=3,
+                           workers_per_agent=4)
+        batches = rl.propose_round()
+        assert len(batches) == 3
+        assert all(len(b) == 4 for b in batches)
+
+    def test_synchronous_flag(self, small_space):
+        assert not DistributedRL(small_space, workers_per_agent=2).asynchronous
+
+    def test_agents_stay_identical_after_allreduce(self, small_space):
+        """The mean all-reduce keeps all agent policies in lock step."""
+        rl = DistributedRL(small_space, rng=0, n_agents=3,
+                           workers_per_agent=4)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            batches = rl.propose_round()
+            rewards = [[float(rng.random()) for _ in b] for b in batches]
+            rl.finish_round(batches, rewards)
+        ref = rl.agents[0].logits
+        for agent in rl.agents[1:]:
+            for a, b in zip(ref, agent.logits):
+                np.testing.assert_allclose(a, b)
+
+    def test_finish_round_shape_check(self, small_space):
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=2)
+        with pytest.raises(ValueError):
+            rl.finish_round([], [])
+
+    def test_run_serial_improves(self, small_space):
+        oracle = ArchitecturePerformanceModel(small_space, seed=0,
+                                              noise_std=0.002)
+        rl = DistributedRL(small_space, rng=0, n_agents=3,
+                           workers_per_agent=6)
+        eval_rng = np.random.default_rng(3)
+        rewards = rl.run_serial(
+            lambda a: oracle.observed_quality(a, eval_rng), n_rounds=40)
+        early = np.mean(rewards[:54])
+        late = np.mean(rewards[-54:])
+        assert late > early
+
+    def test_best_tracked_through_tell(self, small_space):
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=2)
+        batches = rl.propose_round()
+        rewards = [[0.1, 0.9], [0.3, 0.2]]
+        rl.finish_round(batches, rewards)
+        assert rl.best_reward == 0.9
+        assert rl.best_architecture == batches[0][1]
+
+    def test_ask_tell_round_robin(self, small_space):
+        rl = DistributedRL(small_space, rng=0, n_agents=2,
+                           workers_per_agent=2)
+        for _ in range(4):
+            arch = rl.ask()
+            small_space.validate(arch)
+            rl.tell(arch, 0.5)
+        assert rl.n_told == 4

@@ -1,0 +1,180 @@
+import numpy as np
+import pytest
+
+from repro.nas.space import (
+    Operation,
+    StackedLSTMSpace,
+    build_network,
+    default_operations,
+    describe_architecture,
+)
+
+
+class TestOperations:
+    def test_default_catalog(self):
+        ops = default_operations()
+        assert len(ops) == 7
+        assert ops[0].is_identity
+        assert [op.units for op in ops[1:]] == [16, 32, 48, 64, 80, 96]
+
+    def test_str(self):
+        assert str(Operation("identity")) == "Identity"
+        assert str(Operation("lstm", 32)) == "LSTM(32)"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Operation("conv")
+
+    def test_lstm_needs_units(self):
+        with pytest.raises(ValueError):
+            Operation("lstm")
+
+    def test_identity_takes_no_units(self):
+        with pytest.raises(ValueError):
+            Operation("identity", 8)
+
+
+class TestPaperGeometry:
+    def test_paper_space_size(self):
+        """7 ops ^ 5 layers x 2 ^ 9 skips = 8,605,184 (paper Sec. IV)."""
+        space = StackedLSTMSpace()
+        assert space.n_layers == 5
+        assert space.n_skip_nodes == 9
+        assert space.size == 8_605_184
+
+    def test_skip_slots_pattern(self):
+        """1 + 2 + 3 + 3 slots for layers 2..5 at depth limit 3."""
+        space = StackedLSTMSpace()
+        per_target = {}
+        for slot in space.skip_slots:
+            per_target.setdefault(slot.target, []).append(slot.source)
+        assert {k: len(v) for k, v in per_target.items()} == \
+            {2: 1, 3: 2, 4: 3, 5: 3}
+
+    def test_fig2_two_layer_variant(self):
+        """The paper's 2-node example has a single inter-layer skip node."""
+        space = StackedLSTMSpace(n_layers=2)
+        assert space.n_skip_nodes == 1
+
+    def test_variable_node_count(self):
+        assert StackedLSTMSpace().n_variable_nodes == 14
+
+    def test_cardinalities(self, small_space):
+        assert small_space.cardinalities == (4, 4, 4, 2, 2, 2)
+        assert small_space.size == 4 ** 3 * 2 ** 3
+
+
+class TestEncoding:
+    def test_validate_roundtrip(self, small_space, rng):
+        arch = small_space.random_architecture(rng)
+        assert small_space.validate(arch) == arch
+
+    def test_validate_length(self, small_space):
+        with pytest.raises(ValueError, match="length"):
+            small_space.validate((0, 0))
+
+    def test_validate_range(self, small_space):
+        bad = [0] * 6
+        bad[0] = 9
+        with pytest.raises(ValueError, match="out of range"):
+            small_space.validate(tuple(bad))
+
+    def test_index_roundtrip_exhaustive(self, small_space):
+        for rank in range(0, small_space.size, 37):
+            arch = small_space.from_index(rank)
+            assert small_space.index_of(arch) == rank
+
+    def test_index_bijective_sample(self, rng):
+        space = StackedLSTMSpace()
+        seen = set()
+        for _ in range(200):
+            arch = space.random_architecture(rng)
+            seen.add(space.index_of(arch))
+        assert all(0 <= r < space.size for r in seen)
+
+    def test_from_index_out_of_range(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.from_index(small_space.size)
+
+
+class TestSamplingAndMutation:
+    def test_random_architecture_valid(self, small_space, rng):
+        for _ in range(50):
+            small_space.validate(small_space.random_architecture(rng))
+
+    def test_random_covers_space(self, small_space, rng):
+        ranks = {small_space.index_of(small_space.random_architecture(rng))
+                 for _ in range(600)}
+        assert len(ranks) > 300  # decent coverage of 1024
+
+    def test_mutation_changes_exactly_one_node(self, small_space, rng):
+        for _ in range(100):
+            parent = small_space.random_architecture(rng)
+            child = small_space.mutate(parent, rng)
+            diff = sum(1 for a, b in zip(parent, child) if a != b)
+            assert diff == 1
+
+    def test_mutation_valid(self, small_space, rng):
+        arch = small_space.random_architecture(rng)
+        for _ in range(50):
+            arch = small_space.mutate(arch, rng)
+            small_space.validate(arch)
+
+    def test_mutation_reaches_whole_space(self, small_space, rng):
+        """The mutation graph is connected: repeated mutation explores."""
+        arch = (0,) * 6
+        seen = set()
+        for _ in range(3000):
+            arch = small_space.mutate(arch, rng)
+            seen.add(small_space.index_of(arch))
+        assert len(seen) > small_space.size // 3
+
+
+class TestWalkAndParameters:
+    def test_builder_matches_param_count(self, small_space, rng):
+        for _ in range(30):
+            arch = small_space.random_architecture(rng)
+            net = build_network(small_space, arch, rng=0)
+            assert net.n_parameters == small_space.count_parameters(arch)
+
+    def test_all_identity_still_has_output_head(self, small_space):
+        arch = (0, 0, 0) + (0,) * 3
+        params = small_space.count_parameters(arch)
+        # Just the constant output LSTM on the raw input.
+        assert params == 4 * ((3 + 3) * 3 + 3)
+
+    def test_network_output_shape(self, small_space, rng):
+        arch = small_space.random_architecture(rng)
+        net = build_network(small_space, arch, rng=0)
+        y = net.forward(rng.standard_normal((2, 6, 3)))
+        assert y.shape == (2, 6, 3)
+
+    def test_skips_add_dense_projections(self, small_space):
+        no_skips = (1, 2, 3) + (0,) * 3
+        all_skips = (1, 2, 3) + (1,) * 3
+        assert small_space.count_parameters(all_skips) > \
+            small_space.count_parameters(no_skips)
+
+    def test_skip_onto_self_collapsed(self, small_space):
+        """An identity layer can collapse a skip source onto the main
+        path; adding a tensor to itself is skipped by the walk."""
+        # layer1=identity, layer2=lstm, skip input->2 active: the skip
+        # source (input) equals the main path (input) -> no projection.
+        arch = (0, 1, 0, 1, 0, 0)
+        specs = list(small_space.walk(arch))
+        assert not any(s["type"] == "dense" for s in specs)
+
+    def test_describe_mentions_ops(self, small_space, rng):
+        arch = small_space.random_architecture(rng)
+        text = describe_architecture(small_space, arch)
+        assert "layer ops" in text
+
+
+class TestConstructorValidation:
+    def test_needs_two_ops(self):
+        with pytest.raises(ValueError):
+            StackedLSTMSpace(operations=(Operation("identity"),))
+
+    def test_positive_layers(self):
+        with pytest.raises(ValueError):
+            StackedLSTMSpace(n_layers=0)

@@ -1,0 +1,83 @@
+"""Property-based tests of the search-space invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nas.space import StackedLSTMSpace, build_network
+from repro.nas.space.ops import Operation
+
+
+@st.composite
+def spaces(draw):
+    n_layers = draw(st.integers(1, 4))
+    n_lstm_ops = draw(st.integers(1, 3))
+    ops = (Operation("identity"),) + tuple(
+        Operation("lstm", 4 * (i + 1)) for i in range(n_lstm_ops))
+    max_skip = draw(st.integers(1, 4))
+    dim = draw(st.integers(1, 4))
+    return StackedLSTMSpace(n_layers=n_layers, input_dim=dim,
+                            output_dim=dim, operations=ops,
+                            max_skip_depth=max_skip)
+
+
+@settings(max_examples=30, deadline=None)
+@given(space=spaces(), seed=st.integers(0, 1000))
+def test_index_roundtrip(space, seed):
+    arch = space.random_architecture(np.random.default_rng(seed))
+    assert space.from_index(space.index_of(arch)) == arch
+
+
+@settings(max_examples=30, deadline=None)
+@given(space=spaces(), seed=st.integers(0, 1000))
+def test_mutation_hamming_distance_one(space, seed):
+    rng = np.random.default_rng(seed)
+    arch = space.random_architecture(rng)
+    child = space.mutate(arch, rng)
+    assert sum(a != b for a, b in zip(arch, child)) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(space=spaces(), seed=st.integers(0, 1000))
+def test_builder_param_count_consistency(space, seed):
+    arch = space.random_architecture(np.random.default_rng(seed))
+    net = build_network(space, arch, rng=0)
+    assert net.n_parameters == space.count_parameters(arch)
+
+
+@settings(max_examples=20, deadline=None)
+@given(space=spaces(), seed=st.integers(0, 1000))
+def test_built_network_preserves_sequence_geometry(space, seed):
+    rng = np.random.default_rng(seed)
+    arch = space.random_architecture(rng)
+    net = build_network(space, arch, rng=0)
+    x = rng.standard_normal((2, 5, space.input_dim))
+    y = net.forward(x)
+    assert y.shape == (2, 5, space.output_dim)
+    assert np.isfinite(y).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(space=spaces())
+def test_size_equals_cardinality_product(space):
+    prod = 1
+    for c in space.cardinalities:
+        prod *= c
+    assert space.size == prod
+    assert len(space.cardinalities) == space.n_variable_nodes
+
+
+@settings(max_examples=25, deadline=None)
+@given(space=spaces(), seed=st.integers(0, 1000))
+def test_parameter_count_nonnegative_and_monotone_in_ops(space, seed):
+    """Adding skips can only add parameters (dense projections)."""
+    rng = np.random.default_rng(seed)
+    arch = list(space.random_architecture(rng))
+    base = space.count_parameters(tuple(arch))
+    assert base >= 0
+    for pos in range(space.n_layers, len(arch)):
+        with_skip = arch.copy()
+        with_skip[pos] = 1
+        without = arch.copy()
+        without[pos] = 0
+        assert (space.count_parameters(tuple(with_skip))
+                >= space.count_parameters(tuple(without)))

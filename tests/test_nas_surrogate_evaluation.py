@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.nas import (
+    ArchitecturePerformanceModel,
+    RealTrainingEvaluator,
+    StackedLSTMSpace,
+    SurrogateEvaluator,
+)
+from repro.nn.training import Trainer
+
+
+class TestPerformanceModel:
+    def test_quality_deterministic(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        arch = small_space.random_architecture(rng)
+        assert model.quality(arch) == model.quality(arch)
+
+    def test_quality_bounded(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        for _ in range(100):
+            q = model.quality(small_space.random_architecture(rng))
+            assert 0.30 <= q <= model.coeff.ceiling
+
+    def test_posttraining_improves_good_archs(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        best = max((small_space.random_architecture(rng)
+                    for _ in range(300)), key=model.quality)
+        assert model.quality(best, epochs=100) > model.quality(best, epochs=20)
+
+    def test_undertraining_degrades(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        arch = small_space.random_architecture(rng)
+        assert model.quality(arch, epochs=5) < model.quality(arch, epochs=20)
+
+    def test_empty_network_is_poor(self, small_space):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        empty = (0, 0, 0) + (0,) * 3
+        assert model.quality(empty) == pytest.approx(
+            model.coeff.empty_network_quality)
+
+    def test_observed_quality_noisy(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        arch = small_space.random_architecture(rng)
+        values = {model.observed_quality(arch, np.random.default_rng(i))
+                  for i in range(5)}
+        assert len(values) == 5
+
+    def test_training_seconds_scale_with_params(self, small_space):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        small = (1, 0, 0) + (0,) * 3
+        big = (3, 3, 3) + (0,) * 3
+        assert model.training_seconds(big) > model.training_seconds(small)
+
+    def test_training_seconds_scale_with_epochs(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        arch = small_space.random_architecture(rng)
+        assert model.training_seconds(arch, epochs=100) == pytest.approx(
+            5.0 * model.training_seconds(arch, epochs=20))
+
+    def test_cost_noise_mean_preserving(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        arch = small_space.random_architecture(rng)
+        noisy = [model.training_seconds(arch, np.random.default_rng(i))
+                 for i in range(600)]
+        assert np.mean(noisy) == pytest.approx(
+            model.training_seconds(arch), rel=0.05)
+
+    def test_invalid_epochs(self, small_space, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        with pytest.raises(ValueError):
+            model.quality(small_space.random_architecture(rng), epochs=0)
+
+    def test_paper_scale_calibration(self, rng):
+        """Random architectures on the paper space score ~0.93-0.94 and
+        the reachable optimum ~0.96-0.975 (paper Fig. 3 regime)."""
+        space = StackedLSTMSpace()
+        model = ArchitecturePerformanceModel(space, seed=0)
+        qualities = [model.quality(space.random_architecture(rng))
+                     for _ in range(800)]
+        assert 0.925 < np.mean(qualities) < 0.945
+        assert max(qualities) > 0.955
+
+
+class TestSurrogateEvaluator:
+    def test_result_fields(self, small_space, rng):
+        ev = SurrogateEvaluator(small_space)
+        arch = small_space.random_architecture(rng)
+        res = ev.evaluate(arch, rng)
+        assert res.architecture == arch
+        assert res.duration > 0
+        assert res.n_parameters == small_space.count_parameters(arch)
+        assert res.metadata["fidelity"] == "surrogate"
+
+
+class TestRealTrainingEvaluator:
+    @pytest.fixture()
+    def data(self, rng):
+        x = rng.standard_normal((40, 4, 3))
+        y = 0.2 * np.cumsum(x, axis=1)
+        return x[:32], y[:32], x[32:], y[32:]
+
+    def test_trains_and_scores(self, small_space, data, rng):
+        ev = RealTrainingEvaluator(small_space, data,
+                                   trainer=Trainer(epochs=3, batch_size=16))
+        arch = small_space.random_architecture(rng)
+        res = ev.evaluate(arch, rng=0)
+        assert res.metadata["fidelity"] == "real"
+        assert -5.0 < res.reward <= 1.0
+        assert res.metadata["history"].n_epochs == 3
+
+    def test_duration_from_cost_model(self, small_space, data, rng):
+        model = ArchitecturePerformanceModel(small_space, seed=0)
+        ev = RealTrainingEvaluator(small_space, data,
+                                   trainer=Trainer(epochs=2, batch_size=16),
+                                   cost_model=model)
+        arch = small_space.random_architecture(rng)
+        res = ev.evaluate(arch, rng=0)
+        assert res.duration > 1.0  # simulated KNL seconds, not wall time
+
+    def test_shape_validation(self, small_space, rng):
+        bad = (rng.standard_normal((10, 4, 99)),) * 4
+        with pytest.raises(ValueError):
+            RealTrainingEvaluator(small_space, bad)
+
+    def test_deterministic_given_seed(self, small_space, data):
+        ev = RealTrainingEvaluator(small_space, data,
+                                   trainer=Trainer(epochs=2, batch_size=16))
+        arch = (1, 2, 0) + (0,) * 3
+        r1 = ev.evaluate(arch, rng=9).reward
+        r2 = ev.evaluate(arch, rng=9).reward
+        assert r1 == r2

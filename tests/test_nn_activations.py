@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    Identity,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+    sigmoid,
+)
+
+ACTIVATIONS = [Identity(), ReLU(), Sigmoid(), Tanh()]
+
+
+class TestForward:
+    def test_identity(self, rng):
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_array_equal(Identity().forward(x), x)
+
+    def test_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(ReLU().forward(x), [0.0, 0.0, 3.0])
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.standard_normal(100) * 10
+        y = Sigmoid().forward(x)
+        assert np.all((y > 0) & (y < 1))
+        np.testing.assert_allclose(Sigmoid().forward(-x), 1 - y, atol=1e-12)
+
+    def test_sigmoid_extreme_stable(self):
+        y = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(y))
+        np.testing.assert_allclose(y, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh(self, rng):
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(Tanh().forward(x), np.tanh(x))
+
+
+class TestBackward:
+    @pytest.mark.parametrize("act", ACTIVATIONS, ids=lambda a: a.name)
+    def test_numerical_derivative(self, act, rng):
+        x = rng.standard_normal(200) + 0.05  # avoid ReLU kink at 0
+        y = act.forward(x)
+        grad = act.backward(np.ones_like(x), y)
+        eps = 1e-6
+        numeric = (act.forward(x + eps) - act.forward(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_relu_blocks_negative(self):
+        x = np.array([-1.0, 2.0])
+        y = ReLU().forward(x)
+        grad = ReLU().backward(np.array([5.0, 5.0]), y)
+        np.testing.assert_allclose(grad, [0.0, 5.0])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [("identity", Identity),
+                                          ("relu", ReLU),
+                                          ("sigmoid", Sigmoid),
+                                          ("tanh", Tanh)])
+    def test_lookup(self, name, cls):
+        assert isinstance(get_activation(name), cls)
+
+    def test_none_is_identity(self):
+        assert isinstance(get_activation(None), Identity)
+
+    def test_instance_passthrough(self):
+        act = ReLU()
+        assert get_activation(act) is act
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            get_activation("swish")

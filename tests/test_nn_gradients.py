@@ -1,0 +1,162 @@
+"""Numerical gradient verification for every layer and for full DAGs.
+
+These are the load-bearing tests of the NN substrate: exact BPTT is what
+makes the from-scratch framework equivalent to the paper's TF/Keras runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import AddLayer, DenseLayer, LSTMLayer, Network
+from repro.nn.losses import MeanSquaredError
+
+LOSS = MeanSquaredError()
+
+
+def numeric_param_grads(layer, inputs, grad_out, eps=1e-6):
+    """Central-difference gradient of sum(forward * grad_out) wrt params."""
+    numeric = {}
+    for name, param in layer.params.items():
+        g = np.zeros_like(param)
+        flat = param.ravel()
+        gflat = g.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = float(np.sum(layer.forward(inputs) * grad_out))
+            flat[i] = orig - eps
+            down = float(np.sum(layer.forward(inputs) * grad_out))
+            flat[i] = orig
+            gflat[i] = (up - down) / (2 * eps)
+        numeric[name] = g
+    return numeric
+
+
+def check_layer_gradients(layer, inputs, rng, atol=1e-6):
+    out = layer.forward(inputs)
+    grad_out = rng.standard_normal(out.shape)
+    layer.zero_grads()
+    layer.forward(inputs)
+    input_grads = layer.backward(grad_out)
+
+    numeric = numeric_param_grads(layer, inputs, grad_out)
+    for name in layer.params:
+        np.testing.assert_allclose(layer.grads[name], numeric[name],
+                                   atol=atol, rtol=1e-4,
+                                   err_msg=f"param {name}")
+
+    eps = 1e-6
+    for k, x in enumerate(inputs):
+        g = np.zeros_like(x)
+        flat, gflat = x.ravel(), g.ravel()
+        for i in range(0, flat.size, max(1, flat.size // 40)):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = float(np.sum(layer.forward(inputs) * grad_out))
+            flat[i] = orig - eps
+            down = float(np.sum(layer.forward(inputs) * grad_out))
+            flat[i] = orig
+            gflat[i] = (up - down) / (2 * eps)
+            assert input_grads[k].ravel()[i] == pytest.approx(
+                gflat[i], abs=atol, rel=1e-4), f"input {k} element {i}"
+
+
+class TestLayerGradients:
+    def test_dense(self, rng):
+        layer = DenseLayer(3, activation="tanh")
+        layer.build([4], rng=0)
+        check_layer_gradients(layer, [rng.standard_normal((2, 3, 4))], rng)
+
+    def test_dense_linear(self, rng):
+        layer = DenseLayer(2)
+        layer.build([3], rng=1)
+        check_layer_gradients(layer, [rng.standard_normal((3, 2, 3))], rng)
+
+    def test_lstm(self, rng):
+        layer = LSTMLayer(3)
+        layer.build([2], rng=0)
+        check_layer_gradients(layer, [rng.standard_normal((2, 4, 2))], rng,
+                              atol=2e-6)
+
+    def test_lstm_longer_sequence(self, rng):
+        layer = LSTMLayer(2)
+        layer.build([2], rng=3)
+        check_layer_gradients(layer, [rng.standard_normal((1, 8, 2))], rng,
+                              atol=2e-6)
+
+    def test_add_relu(self, rng):
+        layer = AddLayer("relu")
+        layer.build([3, 3], rng=0)
+        inputs = [rng.standard_normal((2, 3, 3)) + 0.1,
+                  rng.standard_normal((2, 3, 3))]
+        check_layer_gradients(layer, inputs, rng)
+
+
+class TestNetworkGradients:
+    def _check_network(self, net, x, y, rng, n_probes=60):
+        pred = net.forward(x, training=True)
+        net.zero_grads()
+        input_grad = net.backward(LOSS.gradient(pred, y))
+
+        def loss():
+            return LOSS.value(net.forward(x, training=True), y)
+
+        eps = 1e-6
+        params = [(p, g) for p, g in net.parameters_and_gradients()]
+        probe_rng = np.random.default_rng(0)
+        for p, g in params:
+            flat, gflat = p.ravel(), g.ravel()
+            for _ in range(max(2, n_probes // len(params))):
+                i = int(probe_rng.integers(flat.size))
+                orig = flat[i]
+                flat[i] = orig + eps
+                up = loss()
+                flat[i] = orig - eps
+                down = loss()
+                flat[i] = orig
+                numeric = (up - down) / (2 * eps)
+                assert gflat[i] == pytest.approx(numeric, abs=5e-7,
+                                                 rel=1e-4)
+        # input gradient probes
+        flat, gflat = x.ravel(), input_grad.ravel()
+        for _ in range(10):
+            i = int(probe_rng.integers(flat.size))
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = loss()
+            flat[i] = orig - eps
+            down = loss()
+            flat[i] = orig
+            numeric = (up - down) / (2 * eps)
+            assert gflat[i] == pytest.approx(numeric, abs=5e-7, rel=1e-4)
+
+    def test_stacked_lstm(self, rng):
+        net = Network(input_dim=3, rng=0)
+        net.add_node("l1", LSTMLayer(4), ["input"])
+        net.add_node("l2", LSTMLayer(2), ["l1"])
+        x = rng.standard_normal((3, 5, 3))
+        y = rng.standard_normal((3, 5, 2))
+        self._check_network(net, x, y, rng)
+
+    def test_skip_connection_dag(self, rng):
+        """The paper's skip pattern: dense projection + add + ReLU."""
+        net = Network(input_dim=3, rng=1)
+        net.add_node("l1", LSTMLayer(4), ["input"])
+        net.add_node("proj", DenseLayer(4), ["input"])
+        net.add_node("merge", AddLayer("relu"), ["l1", "proj"])
+        net.add_node("l2", LSTMLayer(2), ["merge"])
+        x = rng.standard_normal((2, 4, 3))
+        y = rng.standard_normal((2, 4, 2))
+        self._check_network(net, x, y, rng)
+
+    def test_multi_fanout(self, rng):
+        """One node feeding several consumers accumulates gradients."""
+        net = Network(input_dim=2, rng=2)
+        net.add_node("l1", LSTMLayer(3), ["input"])
+        net.add_node("p1", DenseLayer(3), ["l1"])
+        net.add_node("p2", DenseLayer(3), ["l1"])
+        net.add_node("merge", AddLayer("relu"), ["p1", "p2", "l1"])
+        net.add_node("out", LSTMLayer(2), ["merge"])
+        x = rng.standard_normal((2, 3, 2))
+        y = rng.standard_normal((2, 3, 2))
+        self._check_network(net, x, y, rng)

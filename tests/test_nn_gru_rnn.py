@@ -1,0 +1,100 @@
+"""GRU and SimpleRNN layers: shape/causality invariants and exact
+numerical gradient checks (same rigour as the LSTM tests)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import GRULayer, SimpleRNNLayer
+from tests.test_nn_gradients import check_layer_gradients
+
+
+@pytest.mark.parametrize("layer_cls", [GRULayer, SimpleRNNLayer])
+class TestRecurrentInvariants:
+    def test_output_shape(self, layer_cls, rng):
+        layer = layer_cls(6)
+        layer.build([4], rng=0)
+        assert layer.forward([rng.standard_normal((3, 5, 4))]).shape == \
+            (3, 5, 6)
+
+    def test_causality(self, layer_cls, rng):
+        layer = layer_cls(5)
+        layer.build([3], rng=0)
+        x = rng.standard_normal((1, 8, 3))
+        y = layer.forward([x])
+        x2 = x.copy()
+        x2[0, 5:] += 100.0
+        y2 = layer.forward([x2])
+        np.testing.assert_allclose(y2[0, :5], y[0, :5], atol=1e-12)
+        assert not np.allclose(y2[0, 5:], y[0, 5:])
+
+    def test_state_propagates(self, layer_cls, rng):
+        layer = layer_cls(5)
+        layer.build([3], rng=0)
+        x = rng.standard_normal((1, 8, 3))
+        y = layer.forward([x])
+        x2 = x.copy()
+        x2[0, 0] += 1.0
+        y2 = layer.forward([x2])
+        assert not np.allclose(y2[0, -1], y[0, -1])
+
+    def test_batch_independence(self, layer_cls, rng):
+        layer = layer_cls(4)
+        layer.build([2], rng=0)
+        x = rng.standard_normal((3, 6, 2))
+        np.testing.assert_allclose(layer.forward([x])[1:2],
+                                   layer.forward([x[1:2]]), atol=1e-12)
+
+    def test_output_bounded(self, layer_cls, rng):
+        layer = layer_cls(4)
+        layer.build([2], rng=0)
+        y = layer.forward([10.0 * rng.standard_normal((2, 20, 2))])
+        assert np.abs(y).max() <= 1.0
+
+    def test_rejects_multi_input(self, layer_cls):
+        with pytest.raises(ValueError):
+            layer_cls(4).build([2, 2], rng=0)
+
+
+class TestParamCounts:
+    def test_gru(self):
+        layer = GRULayer(10)
+        layer.build([4], rng=0)
+        assert layer.n_parameters == 3 * ((4 + 10) * 10 + 10)
+
+    def test_rnn(self):
+        layer = SimpleRNNLayer(10)
+        layer.build([4], rng=0)
+        assert layer.n_parameters == (4 + 10) * 10 + 10
+
+
+class TestGradients:
+    def test_gru_gradients(self, rng):
+        layer = GRULayer(3)
+        layer.build([2], rng=0)
+        check_layer_gradients(layer, [rng.standard_normal((2, 4, 2))], rng,
+                              atol=2e-6)
+
+    def test_gru_longer_sequence(self, rng):
+        layer = GRULayer(2)
+        layer.build([3], rng=1)
+        check_layer_gradients(layer, [rng.standard_normal((1, 7, 3))], rng,
+                              atol=2e-6)
+
+    def test_rnn_gradients(self, rng):
+        layer = SimpleRNNLayer(4)
+        layer.build([3], rng=0)
+        check_layer_gradients(layer, [rng.standard_normal((2, 5, 3))], rng)
+
+
+class TestTrainability:
+    @pytest.mark.parametrize("layer_cls", [GRULayer, SimpleRNNLayer])
+    def test_learns_smoothing_task(self, layer_cls, rng):
+        from repro.nn import Network, Trainer
+        net = Network(input_dim=2, rng=0)
+        net.add_node("rec", layer_cls(12), ["input"])
+        net.add_node("out", layer_cls(2), ["rec"])
+        x = rng.standard_normal((150, 6, 2))
+        y = 0.3 * np.cumsum(x, axis=1)
+        history = Trainer(epochs=30, batch_size=32,
+                          learning_rate=0.01).fit(net, x, y, rng=0)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.6

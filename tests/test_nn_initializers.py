@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros
+
+
+class TestGlorotUniform:
+    def test_shape(self):
+        assert glorot_uniform((10, 20), rng=0).shape == (10, 20)
+
+    def test_bounds(self):
+        w = glorot_uniform((50, 50), rng=0)
+        limit = np.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= limit
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(glorot_uniform((5, 5), rng=3),
+                                      glorot_uniform((5, 5), rng=3))
+
+    def test_variance_scaling(self):
+        # Larger fan -> tighter distribution.
+        small = glorot_uniform((4, 4), rng=0).std()
+        large = glorot_uniform((400, 400), rng=0).std()
+        assert large < small
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            glorot_uniform((5,), rng=0)
+
+
+class TestOrthogonal:
+    @pytest.mark.parametrize("shape", [(8, 8), (8, 4), (4, 8)])
+    def test_orthonormal_rows_or_columns(self, shape):
+        w = orthogonal(shape, rng=0)
+        assert w.shape == shape
+        if shape[0] >= shape[1]:
+            np.testing.assert_allclose(w.T @ w, np.eye(shape[1]), atol=1e-10)
+        else:
+            np.testing.assert_allclose(w @ w.T, np.eye(shape[0]), atol=1e-10)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(orthogonal((6, 6), rng=1),
+                                      orthogonal((6, 6), rng=1))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            orthogonal((2, 2, 2), rng=0)
+
+    def test_norm_preserving(self, rng):
+        w = orthogonal((16, 16), rng=0)
+        x = rng.standard_normal(16)
+        assert np.linalg.norm(x @ w) == pytest.approx(np.linalg.norm(x))
+
+
+class TestZeros:
+    def test_zeros(self):
+        w = zeros((3, 4))
+        assert w.shape == (3, 4)
+        assert not w.any()

@@ -1,0 +1,71 @@
+"""Trainer extensions: early stopping and learning-rate decay."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_manual_lstm
+from repro.nn.training import Trainer
+
+
+def toy(rng, n=100):
+    x = rng.standard_normal((n, 5, 2))
+    return x, 0.3 * np.cumsum(x, axis=1)
+
+
+class TestEarlyStopping:
+    def test_stops_early_on_plateau(self, rng):
+        x, y = toy(rng)
+        net = build_manual_lstm(6, 1, input_dim=2, output_dim=2, rng=0)
+        # Zero learning-rate epochs cannot improve -> patience triggers.
+        history = Trainer(epochs=50, batch_size=32, learning_rate=1e-12,
+                          patience=3).fit(net, x, y, rng=0)
+        assert history.n_epochs <= 5
+
+    def test_restores_best_weights(self, rng):
+        x, y = toy(rng)
+        net = build_manual_lstm(8, 1, input_dim=2, output_dim=2, rng=0)
+        history = Trainer(epochs=25, batch_size=32, learning_rate=0.01,
+                          patience=5).fit(net, x[:80], y[:80],
+                                          x[80:], y[80:], rng=0)
+        from repro.nn.metrics import r2_score
+        final_r2 = r2_score(y[80:], net.predict(x[80:]))
+        # The restored weights score (at least) the best epoch seen.
+        assert final_r2 >= max(history.val_r2) - 1e-9
+
+    def test_runs_full_budget_when_improving(self, rng):
+        x, y = toy(rng)
+        net = build_manual_lstm(8, 1, input_dim=2, output_dim=2, rng=0)
+        history = Trainer(epochs=8, batch_size=32, learning_rate=0.01,
+                          patience=8).fit(net, x, y, rng=0)
+        assert history.n_epochs == 8
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            Trainer(patience=0)
+
+
+class TestLRDecay:
+    def test_decay_changes_trajectory(self, rng):
+        x, y = toy(rng)
+        net_a = build_manual_lstm(6, 1, input_dim=2, output_dim=2, rng=0)
+        net_b = build_manual_lstm(6, 1, input_dim=2, output_dim=2, rng=0)
+        h_a = Trainer(epochs=10, batch_size=32, learning_rate=0.01,
+                      lr_decay=1.0).fit(net_a, x, y, rng=0)
+        h_b = Trainer(epochs=10, batch_size=32, learning_rate=0.01,
+                      lr_decay=0.5).fit(net_b, x, y, rng=0)
+        assert h_a.train_loss[-1] != h_b.train_loss[-1]
+
+    def test_strong_decay_freezes_training(self, rng):
+        x, y = toy(rng)
+        net = build_manual_lstm(6, 1, input_dim=2, output_dim=2, rng=0)
+        history = Trainer(epochs=30, batch_size=32, learning_rate=0.01,
+                          lr_decay=0.01).fit(net, x, y, rng=0)
+        # After a few epochs the LR is ~0; late losses barely move.
+        late = history.train_loss[10:]
+        assert max(late) - min(late) < 0.05 * history.train_loss[0]
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            Trainer(lr_decay=0.0)
+        with pytest.raises(ValueError):
+            Trainer(lr_decay=1.5)

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.pod import fit_pod
+from repro.pod.incremental import IncrementalPOD
+
+
+@pytest.fixture()
+def snapshots(rng):
+    t = np.linspace(0, 6 * np.pi, 90)
+    u1, u2, u3 = (rng.standard_normal(70) for _ in range(3))
+    return (np.outer(u1, 5 * np.sin(t)) + np.outer(u2, 2 * np.cos(2 * t))
+            + np.outer(u3, 0.5 * np.sin(5 * t))
+            + 0.02 * rng.standard_normal((70, 90)) + 3.0)
+
+
+def subspace_angle(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest principal angle (radians) between column spaces."""
+    qa, _ = np.linalg.qr(a)
+    qb, _ = np.linalg.qr(b)
+    sv = np.linalg.svd(qa.T @ qb, compute_uv=False)
+    return float(np.arccos(np.clip(sv.min(), -1.0, 1.0)))
+
+
+class TestIncrementalPOD:
+    def test_single_block_matches_batch(self, snapshots):
+        inc = IncrementalPOD(n_modes=4).partial_fit(snapshots)
+        batch = fit_pod(snapshots, 4, method="svd")
+        np.testing.assert_allclose(inc.mean_, batch.stats.mean, atol=1e-10)
+        assert subspace_angle(inc.basis().modes, batch.modes) < 1e-6
+
+    def test_blockwise_converges_to_batch(self, snapshots):
+        inc = IncrementalPOD(n_modes=8)
+        for start in range(0, 90, 15):
+            inc.partial_fit(snapshots[:, start:start + 15])
+        batch = fit_pod(snapshots, 3, method="svd")
+        assert inc.n_seen == 90
+        np.testing.assert_allclose(inc.mean_, batch.stats.mean, atol=1e-8)
+        # The retained subspace contains the batch-leading 3 modes.
+        angle = subspace_angle(batch.modes, inc.basis().modes[:, :8])
+        assert angle < 0.05
+
+    def test_energies_close_to_batch(self, snapshots):
+        inc = IncrementalPOD(n_modes=8)
+        for start in range(0, 90, 30):
+            inc.partial_fit(snapshots[:, start:start + 30])
+        batch = fit_pod(snapshots, 8, method="svd")
+        np.testing.assert_allclose(inc.energies[:3], batch.energies[:3],
+                                   rtol=0.02)
+
+    def test_block_order_insensitive_subspace(self, snapshots):
+        a = IncrementalPOD(n_modes=8)
+        b = IncrementalPOD(n_modes=8)
+        blocks = [snapshots[:, i:i + 30] for i in range(0, 90, 30)]
+        for blk in blocks:
+            a.partial_fit(blk)
+        for blk in reversed(blocks):
+            b.partial_fit(blk)
+        assert subspace_angle(a.basis().modes[:, :3],
+                              b.basis().modes[:, :3]) < 0.1
+
+    def test_basis_orthonormal(self, snapshots):
+        inc = IncrementalPOD(n_modes=5)
+        for start in range(0, 90, 18):
+            inc.partial_fit(snapshots[:, start:start + 18])
+        modes = inc.basis().modes
+        np.testing.assert_allclose(modes.T @ modes,
+                                   np.eye(modes.shape[1]), atol=1e-10)
+
+    def test_truncated_basis_request(self, snapshots):
+        inc = IncrementalPOD(n_modes=6).partial_fit(snapshots)
+        assert inc.basis(2).n_modes == 2
+        with pytest.raises(ValueError):
+            inc.basis(10)
+
+    def test_dimension_mismatch(self, snapshots, rng):
+        inc = IncrementalPOD(n_modes=3).partial_fit(snapshots)
+        with pytest.raises(ValueError):
+            inc.partial_fit(rng.standard_normal((30, 5)))
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            IncrementalPOD(n_modes=2).basis()
+
+    def test_projection_quality_matches_batch(self, snapshots):
+        """Reconstruction through the streamed basis is as good as batch."""
+        from repro.pod import projection_error
+        inc = IncrementalPOD(n_modes=8)
+        for start in range(0, 90, 10):
+            inc.partial_fit(snapshots[:, start:start + 10])
+        stream_err = projection_error(inc.basis(3), snapshots)
+        batch_err = projection_error(fit_pod(snapshots, 3), snapshots)
+        assert stream_err < batch_err + 0.01

@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.baselines import build_manual_lstm
+from repro.forecast import PODLSTMEmulator, load_emulator, save_emulator
+from repro.forecast.scaling import StandardScaler
+from repro.nas.space import StackedLSTMSpace, build_network
+from repro.nn import DenseLayer, GRULayer, LSTMLayer, Network
+from repro.nn.layers import AddLayer
+from repro.nn.serialization import load_network, save_network
+from repro.nn.training import Trainer
+
+
+class TestNetworkSerialization:
+    def test_roundtrip_simple(self, tmp_path, rng):
+        net = build_manual_lstm(8, 2, input_dim=3, output_dim=3, rng=0)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        loaded = load_network(path)
+        x = rng.standard_normal((2, 5, 3))
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x),
+                                   atol=1e-14)
+
+    def test_roundtrip_dag_with_skips(self, tmp_path, rng):
+        net = Network(input_dim=3, rng=1)
+        net.add_node("l1", LSTMLayer(4), ["input"])
+        net.add_node("proj", DenseLayer(4), ["input"])
+        net.add_node("merge", AddLayer("relu"), ["l1", "proj"])
+        net.add_node("out", GRULayer(2), ["merge"])
+        path = tmp_path / "dag.npz"
+        save_network(net, path)
+        loaded = load_network(path)
+        x = rng.standard_normal((3, 4, 3))
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x),
+                                   atol=1e-14)
+
+    def test_roundtrip_nas_architecture(self, tmp_path, rng):
+        space = StackedLSTMSpace()
+        arch = space.random_architecture(np.random.default_rng(5))
+        net = build_network(space, arch, rng=2)
+        path = tmp_path / "nas.npz"
+        save_network(net, path)
+        loaded = load_network(path)
+        x = rng.standard_normal((2, 8, 5))
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x),
+                                   atol=1e-14)
+        assert loaded.n_parameters == net.n_parameters
+
+    def test_loaded_network_trainable(self, tmp_path, rng):
+        net = build_manual_lstm(6, 1, input_dim=2, output_dim=2, rng=0)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        loaded = load_network(path)
+        x = rng.standard_normal((40, 4, 2))
+        y = 0.3 * np.cumsum(x, axis=1)
+        history = Trainer(epochs=3, batch_size=16).fit(loaded, x, y, rng=0)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_empty_network_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_network(Network(input_dim=2, rng=0), tmp_path / "x.npz")
+
+    def test_bad_archive_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, __spec__=np.frombuffer(b'{"format": "other"}',
+                                             dtype=np.uint8))
+        with pytest.raises(ValueError, match="not a repro network"):
+            load_network(bad)
+
+
+class TestEmulatorSerialization:
+    @pytest.fixture()
+    def fitted(self, generator):
+        snaps = generator.snapshots(np.arange(60))
+        emulator = PODLSTMEmulator(n_modes=3, window=4,
+                                   trainer=Trainer(epochs=2, batch_size=16))
+        emulator.fit(snaps, rng=0)
+        return emulator, snaps
+
+    def test_forecasts_identical_after_roundtrip(self, tmp_path, fitted):
+        emulator, snaps = fitted
+        path = tmp_path / "emulator.npz"
+        save_emulator(emulator, path)
+        loaded = load_emulator(path)
+        times_a, fields_a = emulator.forecast_fields(snaps, horizon=1)
+        times_b, fields_b = loaded.forecast_fields(snaps, horizon=1)
+        np.testing.assert_array_equal(times_a, times_b)
+        np.testing.assert_allclose(fields_a, fields_b, atol=1e-12)
+
+    def test_score_identical(self, tmp_path, fitted):
+        emulator, snaps = fitted
+        path = tmp_path / "emulator.npz"
+        save_emulator(emulator, path)
+        loaded = load_emulator(path)
+        assert loaded.score(snaps) == pytest.approx(emulator.score(snaps),
+                                                    abs=1e-12)
+
+    def test_standard_scaler_variant(self, tmp_path, generator):
+        from repro.forecast import PODCoefficientPipeline
+        snaps = generator.snapshots(np.arange(50))
+        emulator = PODLSTMEmulator(n_modes=2, window=3,
+                                   trainer=Trainer(epochs=1, batch_size=16))
+        emulator.pipeline = PODCoefficientPipeline(2, 3,
+                                                   scaler=StandardScaler())
+        emulator.fit(snaps, rng=0)
+        path = tmp_path / "std.npz"
+        save_emulator(emulator, path)
+        loaded = load_emulator(path)
+        np.testing.assert_allclose(loaded.pipeline.transform(snaps),
+                                   emulator.pipeline.transform(snaps))
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_emulator(PODLSTMEmulator(), tmp_path / "x.npz")

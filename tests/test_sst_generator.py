@@ -1,0 +1,161 @@
+import numpy as np
+import pytest
+
+from repro.data.grid import LatLonGrid
+from repro.data.sst import SSTConfig, SyntheticSST, WEEKS_PER_YEAR
+
+
+class TestDeterminism:
+    def test_same_seed_same_field(self, coarse_grid):
+        a = SyntheticSST(grid=coarse_grid, seed=5).field(10)
+        b = SyntheticSST(grid=coarse_grid, seed=5).field(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_differs(self, coarse_grid):
+        a = SyntheticSST(grid=coarse_grid, seed=5).field(10)
+        b = SyntheticSST(grid=coarse_grid, seed=6).field(10)
+        assert not np.allclose(a, b, equal_nan=True)
+
+    def test_random_access_matches_sequential(self, generator):
+        sequential = generator.fields(np.arange(5, 9))
+        direct = generator.field(7)
+        np.testing.assert_allclose(sequential[2], direct, equal_nan=True)
+
+    def test_nonconsecutive_indices(self, generator):
+        fields = generator.fields([3, 50, 7])
+        np.testing.assert_allclose(fields[0], generator.field(3),
+                                   equal_nan=True)
+        np.testing.assert_allclose(fields[1], generator.field(50),
+                                   equal_nan=True)
+
+
+class TestFieldStructure:
+    def test_land_is_nan(self, generator):
+        field = generator.field(0)
+        assert np.isnan(field[~generator.ocean_mask]).all()
+        assert np.isfinite(field[generator.ocean_mask]).all()
+
+    def test_physically_plausible_range(self, generator):
+        field = generator.field(100)
+        ocean = field[generator.ocean_mask]
+        assert ocean.min() > -15.0
+        assert ocean.max() < 45.0
+
+    def test_tropics_warmer_than_poles(self, generator):
+        field = generator.field(0)
+        grid = generator.grid
+        lat2d, _ = grid.mesh()
+        tropics = generator.ocean_mask & (np.abs(lat2d) < 15)
+        polar = generator.ocean_mask & (np.abs(lat2d) > 60)
+        assert np.nanmean(field[tropics]) > np.nanmean(field[polar]) + 10.0
+
+    def test_seasonal_cycle_present(self, generator):
+        # Northern midlatitude point: summer warmer than winter.
+        i, j = generator.grid.nearest_index(42.0, 180.0)
+        # one annual cycle sampled at 13-week intervals
+        year = [generator.field(t)[i, j] for t in range(0, 53, 13)]
+        assert max(year) - min(year) > 2.0
+
+    def test_hemispheres_antiphased(self, generator):
+        grid = generator.grid
+        i_n, j_n = grid.nearest_index(42.0, 180.0)
+        i_s, j_s = grid.nearest_index(-42.0, 180.0)
+        series_n, series_s = [], []
+        for t in range(0, 105, 4):
+            f = generator.field(t)
+            series_n.append(f[i_n, j_n])
+            series_s.append(f[i_s, j_s])
+        corr = np.corrcoef(series_n, series_s)[0, 1]
+        assert corr < -0.3
+
+    def test_warming_trend(self, coarse_grid):
+        cfg = SSTConfig(trend_per_year=0.05)
+        gen = SyntheticSST(grid=coarse_grid, seed=0, config=cfg)
+        early = np.nanmean(gen.fields(np.arange(0, 52, 13)))
+        late_start = int(30 * WEEKS_PER_YEAR)
+        late = np.nanmean(gen.fields(np.arange(late_start,
+                                               late_start + 52, 13)))
+        assert late > early + 0.5
+
+
+class TestIndices:
+    def test_enso_reproducible(self, generator):
+        assert generator.enso_index(100) == generator.enso_index(100)
+
+    def test_enso_bounded(self, generator):
+        values = [generator.enso_index(t) for t in range(0, 1914, 13)]
+        assert max(np.abs(values)) < 6.0
+
+    def test_enso_oscillates(self, generator):
+        values = np.array([generator.enso_index(t) for t in range(1914)])
+        sign_changes = np.sum(np.diff(np.sign(values - values.mean())) != 0)
+        # Period ~170 weeks across 1914 weeks -> ~20+ crossings.
+        assert sign_changes >= 10
+
+    def test_enso_negative_time_supported(self, generator):
+        # Eddy warm-up reaches before t=0.
+        assert np.isfinite(generator.enso_index(-10))
+
+    def test_enso_too_early_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.enso_index(-10_000)
+
+    def test_weather_indices_standardized(self, generator):
+        x = np.array([generator.weather_index(t) for t in range(1000)])
+        z = np.array([generator.dipole_index(t) for t in range(1000)])
+        assert 0.5 < x.std() < 2.0
+        assert 0.5 < z.std() < 2.0
+
+    def test_weather_chaotic_decorrelation(self, generator):
+        x = np.array([generator.weather_index(t) for t in range(1200)])
+        ac1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        ac30 = np.corrcoef(x[:-30], x[30:])[0, 1]
+        assert ac1 > 0.6          # smooth at one week
+        assert abs(ac30) < 0.55   # decorrelates within a season
+
+    def test_series_extension(self, coarse_grid):
+        gen = SyntheticSST(grid=coarse_grid, seed=9)
+        early = gen.enso_index(10)
+        gen.enso_index(3000)  # force extension beyond initial block
+        assert gen.enso_index(10) == early
+
+
+class TestSnapshots:
+    def test_snapshot_shape(self, generator):
+        snaps = generator.snapshots([0, 1, 2])
+        assert snaps.shape == (generator.n_ocean, 3)
+
+    def test_snapshots_finite(self, generator):
+        assert np.isfinite(generator.snapshots([5, 6])).all()
+
+    def test_unflatten_roundtrip(self, generator):
+        field = generator.field(3)
+        vec = field[generator.ocean_mask]
+        np.testing.assert_allclose(generator.unflatten(vec), field,
+                                   equal_nan=True)
+
+    def test_unflatten_wrong_size(self, generator):
+        with pytest.raises(ValueError):
+            generator.unflatten(np.zeros(3))
+
+    def test_indices_must_be_1d(self, generator):
+        with pytest.raises(ValueError):
+            generator.fields(np.zeros((2, 2), dtype=int))
+
+
+class TestConfigValidation:
+    def test_bad_rho(self):
+        with pytest.raises(ValueError):
+            SSTConfig(eddy_rho=1.0)
+
+    def test_bad_truncation(self):
+        with pytest.raises(ValueError):
+            SSTConfig(eddy_truncation=0)
+
+    def test_eddy_has_memory(self, coarse_grid):
+        gen = SyntheticSST(grid=coarse_grid, seed=4)
+        e0 = gen._eddy_field(100, {})
+        e1 = gen._eddy_field(101, {})
+        mask = gen.ocean_mask
+        corr = np.corrcoef(e0[mask], e1[mask])[0, 1]
+        assert corr > 0.4  # AR(1) rho = 0.65

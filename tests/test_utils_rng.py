@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_int_seed_reproducible(self):
+        a = as_generator(7).standard_normal(5)
+        b = as_generator(7).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).standard_normal(5)
+        b = as_generator(2).standard_normal(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn(0, 2)
+        assert not np.allclose(a.standard_normal(8), b.standard_normal(8))
+
+    def test_children_reproducible(self):
+        first = [g.standard_normal(4) for g in spawn(3, 3)]
+        second = [g.standard_normal(4) for g in spawn(3, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator_advances(self):
+        gen = np.random.default_rng(0)
+        a = spawn(gen, 1)[0].standard_normal(4)
+        b = spawn(gen, 1)[0].standard_normal(4)
+        assert not np.allclose(a, b)

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.smoothing import moving_average, running_max
+
+
+class TestMovingAverage:
+    def test_constant_series(self):
+        np.testing.assert_allclose(moving_average(np.full(10, 3.0), 4),
+                                   np.full(10, 3.0))
+
+    def test_warmup_ramp(self):
+        out = moving_average([1.0, 2.0, 3.0, 4.0], window=2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_window_one_is_identity(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_window_larger_than_series(self):
+        out = moving_average([2.0, 4.0], window=100)
+        np.testing.assert_allclose(out, [2.0, 3.0])
+
+    def test_empty(self):
+        assert moving_average([], 5).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            moving_average(np.ones((2, 2)))
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+           st.integers(1, 60))
+    def test_bounded_by_extremes(self, values, window):
+        out = moving_average(values, window)
+        assert np.all(out >= min(values) - 1e-6)
+        assert np.all(out <= max(values) + 1e-6)
+
+
+class TestRunningMax:
+    def test_monotone(self):
+        out = running_max([3.0, 1.0, 4.0, 1.0, 5.0])
+        np.testing.assert_allclose(out, [3.0, 3.0, 4.0, 4.0, 5.0])
+
+    def test_empty(self):
+        assert running_max([]).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            running_max(np.ones((2, 2)))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_nondecreasing_property(self, values):
+        out = running_max(values)
+        assert np.all(np.diff(out) >= 0)
+        assert out[-1] == max(values)

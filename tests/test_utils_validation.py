@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_list_converted(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+
+    def test_contiguous(self):
+        x = np.ones((4, 4))[::2]
+        assert check_array(x).flags["C_CONTIGUOUS"]
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array(np.ones(3), ndim=2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array([1.0, np.inf])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myarr"):
+            check_array([np.nan], name="myarr")
+
+
+class TestCheckMatrix:
+    def test_accepts_2d(self):
+        assert check_matrix(np.ones((2, 3))).shape == (2, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.ones(3))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.ones((2, 2, 2)))
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5) == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(3)) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, 2.0])
+    def test_rejects_invalid(self, p):
+        with pytest.raises(ValueError):
+            check_probability(p)
