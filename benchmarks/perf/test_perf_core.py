@@ -1,0 +1,43 @@
+"""Perf benchmarks — the pytest face of ``python -m repro.cli bench``.
+
+Excluded from the default suite by the ``bench`` marker
+(pyproject.toml); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m bench -q
+
+Set ``REPRO_BENCH_FULL=1`` for full workload sizes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import default_suite, run_benchmark, run_suite, \
+    validate_bench_data
+
+pytestmark = pytest.mark.bench
+
+QUICK = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+SUITE = default_suite(quick=QUICK)
+
+
+@pytest.mark.parametrize("bench", SUITE, ids=[b.name for b in SUITE])
+def test_benchmark_runs(bench):
+    """Every benchmark runs, times positively, and keeps its metadata."""
+    result = run_benchmark(bench, reps=3)
+    assert result.mean_s > 0.0
+    assert result.std_s >= 0.0
+    assert result.metadata == bench.metadata
+
+
+def test_suite_writes_valid_trajectory(tmp_path):
+    """End-to-end: the suite writes a schema-valid BENCH_core.json."""
+    out = tmp_path / "BENCH_core.json"
+    results = run_suite(SUITE, reps=3, out_path=out)
+    data = json.loads(out.read_text())
+    validate_bench_data(data)
+    assert set(data) == {b.name for b in SUITE}
+    assert len(data) >= 6
+    for name, result in results.items():
+        assert data[name]["mean_s"] == result.mean_s

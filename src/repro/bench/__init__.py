@@ -1,0 +1,18 @@
+"""repro.bench — microbenchmark harness seeding BENCH_core.json.
+
+Run via ``python -m repro.cli bench [--quick]``; see
+docs/OBSERVABILITY.md for the output schema and how the perf trajectory
+is consumed.
+"""
+
+from repro.bench.core import (
+    Benchmark,
+    BenchResult,
+    run_benchmark,
+    run_suite,
+    validate_bench_data,
+)
+from repro.bench.suite import default_suite
+
+__all__ = ["Benchmark", "BenchResult", "run_benchmark", "run_suite",
+           "validate_bench_data", "default_suite"]

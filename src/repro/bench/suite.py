@@ -1,0 +1,160 @@
+"""The core benchmark suite behind ``python -m repro.cli bench``.
+
+Covers the four cost centres of the reproduction (ISSUE: the paths every
+"make it faster" PR will touch):
+
+* recurrent-cell forward+backward at several ``(B, T, H)`` points
+  (LSTM / GRU / SimpleRNN — the BPTT inner loop);
+* one full :class:`~repro.nn.training.Trainer` epoch (batching, loss,
+  clipping, Adam);
+* POD basis computation (method of snapshots) at archive-like shape;
+* a 10-evaluation random-search slice over the surrogate (ask /
+  evaluate / tell machinery, the NAS outer loop).
+
+Every benchmark is seeded and self-contained: ``make()`` builds all data
+so only steady-state compute is timed. The ``quick`` suite is sized to
+finish on one CPU core in well under two minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.core import Benchmark
+
+__all__ = ["default_suite"]
+
+#: Input feature width of the cell benchmarks (the paper's POD setting
+#: uses Nr = 5 modes; 8 keeps GEMM shapes BLAS-friendly).
+_CELL_FEATURES = 8
+
+#: (B, T, H) grid of the recurrent-cell benchmarks.
+_QUICK_CELL_POINTS = (
+    ("lstm", 32, 8, 32),
+    ("lstm", 64, 16, 64),
+    ("gru", 32, 8, 32),
+    ("gru", 64, 16, 64),
+    ("rnn", 64, 16, 64),
+)
+_FULL_CELL_POINTS = _QUICK_CELL_POINTS + (
+    ("lstm", 64, 32, 96),
+    ("gru", 64, 32, 96),
+    ("rnn", 64, 32, 96),
+)
+
+
+def _cell_benchmark(kind: str, batch: int, steps: int, units: int
+                    ) -> Benchmark:
+    def make():
+        from repro.nn.layers import GRULayer, LSTMLayer, SimpleRNNLayer
+        layer_cls = {"lstm": LSTMLayer, "gru": GRULayer,
+                     "rnn": SimpleRNNLayer}[kind]
+        layer = layer_cls(units)
+        layer.build([_CELL_FEATURES], rng=0)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((batch, steps, _CELL_FEATURES))
+        grad = rng.standard_normal((batch, steps, units))
+
+        def run():
+            layer.forward([x], training=True)
+            layer.zero_grads()
+            layer.backward(grad)
+        return run
+
+    return Benchmark(
+        name=f"{kind}_fwd_bwd_b{batch}_t{steps}_h{units}",
+        make=make,
+        metadata={"kind": kind, "batch": batch, "steps": steps,
+                  "units": units, "features": _CELL_FEATURES,
+                  "measures": "forward+backward, full BPTT"})
+
+
+def _trainer_epoch_benchmark(quick: bool) -> Benchmark:
+    n, steps, features, units = (256, 8, 5, 16) if quick \
+        else (1024, 8, 5, 64)
+
+    def make():
+        from repro.nn import LSTMLayer, Network, Trainer
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((n, steps, features))
+        y = 0.3 * np.cumsum(x, axis=1)
+        net = Network(input_dim=features, rng=0)
+        net.add_node("l1", LSTMLayer(units), ["input"])
+        net.add_node("output", LSTMLayer(features), ["l1"])
+        net.set_output("output")
+        trainer = Trainer(epochs=1, batch_size=64)
+
+        def run():
+            # Each rep continues training the same network: per-epoch cost
+            # is weight-independent, so steady-state timing is unaffected.
+            trainer.fit(net, x, y, rng=0)
+        return run
+
+    return Benchmark(
+        name="trainer_epoch",
+        make=make,
+        metadata={"examples": n, "steps": steps, "features": features,
+                  "units": units, "batch_size": 64,
+                  "measures": "one Trainer epoch incl. validation pass"})
+
+
+def _pod_basis_benchmark(quick: bool) -> Benchmark:
+    n_state, n_snapshots = (1500, 120) if quick else (6000, 400)
+
+    def make():
+        from repro.pod import fit_pod
+        rng = np.random.default_rng(0)
+        # Low-rank structure + noise, the regime of a geophysical archive.
+        basis = rng.standard_normal((n_state, 12))
+        coeffs = rng.standard_normal((12, n_snapshots))
+        snapshots = basis @ coeffs + 0.1 * rng.standard_normal(
+            (n_state, n_snapshots))
+
+        def run():
+            fit_pod(snapshots, n_modes=5, method="snapshots")
+        return run
+
+    return Benchmark(
+        name="pod_basis",
+        make=make,
+        metadata={"n_state": n_state, "n_snapshots": n_snapshots,
+                  "n_modes": 5,
+                  "measures": "POD method of snapshots (paper Eq. 3-5)"})
+
+
+def _random_search_benchmark() -> Benchmark:
+    n_evaluations = 10
+
+    def make():
+        from repro.nas import RandomSearch, StackedLSTMSpace, \
+            SurrogateEvaluator
+        from repro.nas.space.ops import default_operations
+        space = StackedLSTMSpace(n_layers=5, input_dim=5, output_dim=5,
+                                 operations=default_operations())
+        evaluator = SurrogateEvaluator(space)
+
+        def run():
+            algorithm = RandomSearch(space, rng=0)
+            rng = np.random.default_rng(1)
+            for _ in range(n_evaluations):
+                arch = algorithm.ask()
+                result = evaluator.evaluate(arch, rng)
+                algorithm.tell(arch, result.reward)
+        return run
+
+    return Benchmark(
+        name=f"random_search_{n_evaluations}_evals",
+        make=make,
+        metadata={"n_evaluations": n_evaluations, "fidelity": "surrogate",
+                  "measures": "ask/evaluate/tell loop over the paper's "
+                              "full 5-layer space"})
+
+
+def default_suite(quick: bool = True) -> list[Benchmark]:
+    """The BENCH_core.json suite (8 benchmarks quick, 11 full)."""
+    points = _QUICK_CELL_POINTS if quick else _FULL_CELL_POINTS
+    suite = [_cell_benchmark(*p) for p in points]
+    suite.append(_trainer_epoch_benchmark(quick))
+    suite.append(_pod_basis_benchmark(quick))
+    suite.append(_random_search_benchmark())
+    return suite

@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: regenerate any paper table or figure, or
+run the core microbenchmark suite.
 
 Usage::
 
@@ -6,6 +7,8 @@ Usage::
     python -m repro fig3 [--preset quick|full]
     python -m repro table3 --preset full
     python -m repro all --preset quick
+    python -m repro bench --quick            # writes BENCH_core.json
+    python -m repro bench --obs --jsonl run.obs.jsonl
 """
 
 from __future__ import annotations
@@ -49,14 +52,80 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str], object]]] = {
 }
 
 
+def bench_main(argv: list[str]) -> int:
+    """``repro bench`` — run the microbenchmark suite, write the perf
+    trajectory JSON, optionally with observability enabled."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time the core hot paths (recurrent cells, Trainer "
+                    "epoch, POD basis, random-search slice) and write the "
+                    "perf trajectory file (see docs/OBSERVABILITY.md).")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload sizes (single-core, < 2 min)")
+    parser.add_argument("--reps", type=int, default=None, metavar="N",
+                        help="timed repetitions per benchmark "
+                             "(default: 3 quick, 5 full)")
+    parser.add_argument("--out", default="BENCH_core.json", metavar="PATH",
+                        help="output JSON path (default: BENCH_core.json)")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="only run benchmarks whose name contains this")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list benchmark names and exit")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the observability registry during the "
+                             "run and print its summary table")
+    parser.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="with --obs: export the registry as JSONL")
+    args = parser.parse_args(argv)
+
+    from repro import obs
+    from repro.bench import default_suite, run_suite
+
+    suite = default_suite(quick=args.quick)
+    if args.filter is not None:
+        suite = [b for b in suite if args.filter in b.name]
+        if not suite:
+            print(f"no benchmark matches --filter {args.filter!r}")
+            return 2
+    if args.list_only:
+        for bench in suite:
+            print(bench.name)
+        return 0
+
+    reps = args.reps if args.reps is not None else (3 if args.quick else 5)
+    if reps < 1:
+        parser.error(f"--reps must be >= 1, got {reps}")
+    if args.obs:
+        obs.enable()
+    print(f"running {len(suite)} benchmarks "
+          f"({'quick' if args.quick else 'full'} sizes, reps={reps})")
+    run_suite(suite, reps=reps, out_path=args.out, progress=print)
+    print(f"wrote {args.out}")
+    if args.obs:
+        print()
+        print(obs.summary())
+        if args.jsonl is not None:
+            obs.export_jsonl(args.jsonl)
+            print(f"wrote {args.jsonl}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the SC 2020 POD-LSTM "
-                    "NAS paper on the synthetic archive.")
+                    "NAS paper on the synthetic archive.",
+        epilog="Additional subcommand: 'repro bench' runs the core "
+               "microbenchmark suite and writes BENCH_core.json "
+               "(see 'repro bench --help').")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "list"],
-                        help="experiment id, 'all', or 'list'")
+                        choices=sorted(EXPERIMENTS) + ["all", "list",
+                                                       "bench"],
+                        help="experiment id, 'all', 'list', or 'bench'")
     parser.add_argument("--preset", choices=("quick", "full"),
                         default="quick",
                         help="training/search budgets (default: quick)")

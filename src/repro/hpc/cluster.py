@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["ClusterConfig"]
 
 
@@ -65,6 +67,7 @@ class ClusterConfig:
         or ``None`` if this evaluation succeeds."""
         if self.failure_rate == 0.0 or rng.random() >= self.failure_rate:
             return None
+        obs.counter_add("hpc/failures_injected")
         return float(rng.uniform(0.05, 1.0))
 
     def sample_launch_overhead(self, rng: np.random.Generator) -> float:
@@ -72,5 +75,7 @@ class ClusterConfig:
         if self.launch_overhead_mean == 0.0:
             return 0.0
         sigma = self.launch_overhead_sigma
-        return float(self.launch_overhead_mean
-                     * np.exp(rng.normal(0.0, sigma) - 0.5 * sigma ** 2))
+        overhead = float(self.launch_overhead_mean
+                         * np.exp(rng.normal(0.0, sigma) - 0.5 * sigma ** 2))
+        obs.counter_add("hpc/launch_overhead_seconds", overhead)
+        return overhead

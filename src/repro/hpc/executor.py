@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.hpc.cluster import ClusterConfig
 from repro.hpc.event_queue import EventQueue
 from repro.hpc.theta import ThetaPartition, rl_node_allocation
@@ -83,10 +84,33 @@ def run_asynchronous_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
 
         queue.schedule(overhead, launch)
 
-    for node in range(partition.n_nodes):
-        start_cycle(node)
-    queue.run_until(partition.wall_seconds)
+    run_scope = obs.scope("hpc/run_asynchronous_search")
+    with run_scope:
+        for node in range(partition.n_nodes):
+            start_cycle(node)
+        queue.run_until(partition.wall_seconds)
+    _record_run_metrics(tracker, partition, run_scope.elapsed_s)
     return tracker
+
+
+def _record_run_metrics(tracker: SearchTracker, partition: ThetaPartition,
+                        wall_s: float) -> None:
+    """Simulated vs wall-clock accounting of one executor run."""
+    if not obs.enabled():
+        return
+    obs.counter_add("hpc/evaluations_completed", tracker.n_evaluations)
+    obs.counter_add("hpc/failures", tracker.n_failures)
+    obs.counter_add("hpc/simulated_node_seconds",
+                    partition.n_nodes * partition.wall_seconds)
+    if tracker.n_evaluations:
+        obs.gauge_set("hpc/simulated_seconds_per_evaluation",
+                      sum(r.duration for r in tracker.records)
+                      / tracker.n_evaluations)
+    # How much simulated machine time one wall-clock second buys — the
+    # speedup of the discrete-event simulation over the real cluster.
+    obs.gauge_set("hpc/simulated_per_wall_second",
+                  partition.n_nodes * partition.wall_seconds
+                  / max(wall_s, 1e-12))
 
 
 def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
@@ -171,8 +195,11 @@ def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
 
             queue.schedule(cluster.rl_update_seconds, update_done)
 
-    start_round()
-    queue.run_until(partition.wall_seconds)
+    run_scope = obs.scope("hpc/run_synchronous_rl_search")
+    with run_scope:
+        start_round()
+        queue.run_until(partition.wall_seconds)
+    _record_run_metrics(tracker, partition, run_scope.elapsed_s)
     return tracker
 
 

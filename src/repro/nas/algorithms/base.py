@@ -10,6 +10,7 @@ asks and tells; the synchronous RL method uses its own batch interface
 
 from __future__ import annotations
 
+from repro import obs
 from repro.nas.space.search_space import Architecture, StackedLSTMSpace
 from repro.utils.rng import as_generator
 
@@ -35,7 +36,8 @@ class SearchAlgorithm:
     def ask(self) -> Architecture:
         """Propose the next architecture to evaluate."""
         self.n_asked += 1
-        return self._propose()
+        with obs.scope("nas/ask"):
+            return self._propose()
 
     def tell(self, arch: Architecture, reward: float) -> None:
         """Report a finished evaluation."""
@@ -43,7 +45,8 @@ class SearchAlgorithm:
         if reward > self.best_reward:
             self.best_reward = reward
             self.best_architecture = tuple(arch)
-        self._observe(tuple(arch), float(reward))
+        with obs.scope("nas/tell"):
+            self._observe(tuple(arch), float(reward))
 
     # -- hooks for subclasses ----------------------------------------------
     def _propose(self) -> Architecture:

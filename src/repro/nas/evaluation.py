@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.nas.space.builder import build_network
 from repro.nas.space.search_space import Architecture, StackedLSTMSpace
 from repro.nas.surrogate import ArchitecturePerformanceModel
@@ -63,8 +64,14 @@ class SurrogateEvaluator(Evaluator):
 
     def evaluate(self, arch: Architecture, rng=None) -> EvaluationResult:
         gen = as_generator(rng)
-        reward = self.model.observed_quality(arch, gen, epochs=self.epochs)
-        duration = self.model.training_seconds(arch, gen, epochs=self.epochs)
+        with obs.scope("nas/evaluate/surrogate"):
+            reward = self.model.observed_quality(arch, gen,
+                                                 epochs=self.epochs)
+            duration = self.model.training_seconds(arch, gen,
+                                                   epochs=self.epochs)
+        if obs.enabled():
+            obs.counter_add("nas/evaluations")
+            obs.counter_add("nas/simulated_seconds", duration)
         return EvaluationResult(
             architecture=tuple(arch), reward=reward, duration=duration,
             n_parameters=self.space.count_parameters(arch),
@@ -109,10 +116,14 @@ class RealTrainingEvaluator(Evaluator):
     def evaluate(self, arch: Architecture, rng=None) -> EvaluationResult:
         gen = as_generator(rng)
         start = time.perf_counter()
-        net = build_network(self.space, arch, rng=gen)
-        history = self.trainer.fit(net, self.x_train, self.y_train,
-                                   self.x_val, self.y_val, rng=gen)
+        with obs.scope("nas/evaluate/real"):
+            net = build_network(self.space, arch, rng=gen)
+            history = self.trainer.fit(net, self.x_train, self.y_train,
+                                       self.x_val, self.y_val, rng=gen)
         wall = time.perf_counter() - start
+        if obs.enabled():
+            obs.counter_add("nas/evaluations")
+            obs.gauge_set("nas/evaluation_wall_s", wall)
         reward = history.final_val_r2
         if self.cost_model is not None:
             duration = self.cost_model.training_seconds(

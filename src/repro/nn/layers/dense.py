@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.nn.activations import get_activation
 from repro.nn.initializers import glorot_uniform
 from repro.nn.layers.base import Layer
@@ -48,6 +49,7 @@ class DenseLayer(Layer):
 
     def forward(self, inputs, training: bool = False) -> np.ndarray:
         x = self._check_single_input(inputs)
+        obs.counter_add("nn/gemms")
         pre = x @ self.params["W"] + self.params["b"]
         y = self.activation.forward(pre)
         self._cache = (x, y)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.nn.activations import dsigmoid_from_y, dtanh_from_y, sigmoid
 from repro.nn.initializers import glorot_uniform, orthogonal
 from repro.nn.layers.base import Layer
@@ -59,6 +60,8 @@ class GRULayer(Layer):
         hs = np.zeros((steps, batch, h))
         gates = np.zeros((steps, batch, 3 * h))
         x_proj = x @ wx + b
+        # One input-projection GEMM + two recurrent GEMMs per step.
+        obs.counter_add("nn/gemms", 1 + 2 * steps)
         h_prev = np.zeros((batch, h))
         for t in range(steps):
             rec = h_prev @ wh                       # (B, 3H)

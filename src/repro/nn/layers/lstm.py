@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.nn.activations import dsigmoid_from_y, dtanh_from_y, sigmoid
 from repro.nn.initializers import glorot_uniform, orthogonal
 from repro.nn.layers.base import Layer
@@ -69,6 +70,8 @@ class LSTMLayer(Layer):
 
         # Hoist the input projection out of the loop (one big GEMM).
         x_proj = x @ wx + b  # (B, T, 4H)
+        # One input-projection GEMM + one recurrent GEMM per step.
+        obs.counter_add("nn/gemms", 1 + steps)
         h_prev = np.zeros((batch, h))
         c_prev = np.zeros((batch, h))
         for t in range(steps):

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.nn.activations import dtanh_from_y
 from repro.nn.initializers import glorot_uniform, orthogonal
 from repro.nn.layers.base import Layer
@@ -45,6 +46,8 @@ class SimpleRNNLayer(Layer):
         wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
         hs = np.zeros((steps, batch, self.units))
         x_proj = x @ wx + b
+        # One input-projection GEMM + one recurrent GEMM per step.
+        obs.counter_add("nn/gemms", 1 + steps)
         h_prev = np.zeros((batch, self.units))
         for t in range(steps):
             h_prev = np.tanh(x_proj[:, t, :] + h_prev @ wh)

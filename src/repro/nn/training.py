@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.nn.losses import MeanSquaredError
 from repro.nn.metrics import r2_score
 from repro.nn.model import Network
@@ -22,26 +23,42 @@ __all__ = ["History", "Trainer"]
 
 @dataclass
 class History:
-    """Per-epoch training record."""
+    """Per-epoch training record.
+
+    ``learning_rates`` records the learning rate *in effect during* each
+    epoch, making the ``lr_decay`` schedule observable: decay is applied
+    between epochs, so an early-stopped run records exactly one rate per
+    completed epoch, identical to the prefix of an un-stopped run.
+    """
 
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
     val_r2: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
 
     @property
     def n_epochs(self) -> int:
         return len(self.train_loss)
 
     @property
+    def is_empty(self) -> bool:
+        """True when no epoch ever ran (e.g. ``Trainer(epochs=0)``)."""
+        return not self.val_r2
+
+    @property
     def best_val_r2(self) -> float:
         if not self.val_r2:
-            raise ValueError("history is empty")
+            raise ValueError(
+                "best_val_r2 is undefined on an empty history: no epoch "
+                "ever ran (Trainer(epochs=0)?); check History.is_empty")
         return max(self.val_r2)
 
     @property
     def final_val_r2(self) -> float:
         if not self.val_r2:
-            raise ValueError("history is empty")
+            raise ValueError(
+                "final_val_r2 is undefined on an empty history: no epoch "
+                "ever ran (Trainer(epochs=0)?); check History.is_empty")
         return self.val_r2[-1]
 
 
@@ -113,27 +130,38 @@ class Trainer:
         stale_epochs = 0
 
         for _ in range(self.epochs):
-            order = gen.permutation(n) if self.shuffle else np.arange(n)
-            epoch_loss = 0.0
-            for start in range(0, n, self.batch_size):
-                idx = order[start:start + self.batch_size]
-                xb, yb = x_train[idx], y_train[idx]
-                pred = model.forward(xb, training=True)
-                batch_loss = loss_fn.value(pred, yb)
-                model.zero_grads()
-                model.backward(loss_fn.gradient(pred, yb))
-                grads = [g for _, g in model.parameters_and_gradients()]
-                if self.clip_norm is not None:
-                    clip_gradients(grads, self.clip_norm)
-                optimizer.step(model.parameters_and_gradients())
-                epoch_loss += batch_loss * len(idx)
-            history.train_loss.append(epoch_loss / n)
+            history.learning_rates.append(optimizer.learning_rate)
+            epoch_scope = obs.scope("train/epoch")
+            with epoch_scope:
+                order = gen.permutation(n) if self.shuffle else np.arange(n)
+                epoch_loss = 0.0
+                for start in range(0, n, self.batch_size):
+                    with obs.scope("batch"):
+                        idx = order[start:start + self.batch_size]
+                        xb, yb = x_train[idx], y_train[idx]
+                        pred = model.forward(xb, training=True)
+                        batch_loss = loss_fn.value(pred, yb)
+                        model.zero_grads()
+                        model.backward(loss_fn.gradient(pred, yb))
+                        grads = [g for _, g in
+                                 model.parameters_and_gradients()]
+                        if self.clip_norm is not None:
+                            clip_gradients(grads, self.clip_norm)
+                        optimizer.step(model.parameters_and_gradients())
+                        epoch_loss += batch_loss * len(idx)
+                history.train_loss.append(epoch_loss / n)
 
-            val_pred = model.predict(x_val, batch_size=4 * self.batch_size)
-            history.val_loss.append(loss_fn.value(val_pred, y_val))
-            history.val_r2.append(r2_score(y_val, val_pred))
+                with obs.scope("validate"):
+                    val_pred = model.predict(x_val,
+                                             batch_size=4 * self.batch_size)
+                    history.val_loss.append(loss_fn.value(val_pred, y_val))
+                    history.val_r2.append(r2_score(y_val, val_pred))
+            if obs.enabled():
+                obs.counter_add("train/epochs")
+                obs.counter_add("train/examples", n)
+                obs.gauge_set("train/examples_per_sec",
+                              n / max(epoch_scope.elapsed_s, 1e-12))
 
-            optimizer.learning_rate *= self.lr_decay
             if self.patience is not None:
                 if history.val_r2[-1] > best_r2 + self.min_delta:
                     best_r2 = history.val_r2[-1]
@@ -143,6 +171,10 @@ class Trainer:
                     stale_epochs += 1
                     if stale_epochs >= self.patience:
                         break
+            # Decay between epochs only: a run halted by early stopping or
+            # by the epoch budget leaves the optimizer at the rate it last
+            # trained with, so the recorded schedule is break-consistent.
+            optimizer.learning_rate *= self.lr_decay
         if self.patience is not None and best_weights is not None:
             model.set_weights(best_weights)
         return history

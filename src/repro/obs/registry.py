@@ -1,0 +1,258 @@
+"""Hierarchical timers and typed perf counters.
+
+The registry is the single aggregation point of the observability layer
+(docs/OBSERVABILITY.md). Three record kinds exist:
+
+* **scopes** — hierarchical wall-clock timers keyed by a ``/``-joined
+  path of the active scope names (``"hpc/run_async/evaluate"``). Each
+  scope tracks call count, *inclusive* time (scope entry to exit) and
+  *exclusive* time (inclusive minus the inclusive time of directly
+  nested scopes), so a flat table still shows where time actually went;
+* **counters** — monotonically accumulated totals (examples trained,
+  GEMMs issued, evaluations completed);
+* **gauges** — last-value-wins measurements with min/max/mean tracking
+  (examples/sec, simulated-to-wall speedup).
+
+Everything is **off by default**: a disabled registry hands out a shared
+no-op scope and drops counter/gauge updates after a single attribute
+check, so instrumented code paths are numerically and behaviourally
+identical to uninstrumented ones (guard-tested in tests/test_obs.py).
+The registry is single-threaded by design — the whole reproduction is a
+single-process NumPy program; enable/disable must not be toggled while
+scopes are open.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+__all__ = ["ScopeStats", "Counter", "Gauge", "Registry", "NullScope",
+           "NULL_SCOPE"]
+
+
+@dataclass
+class ScopeStats:
+    """Aggregated timings of one scope path."""
+
+    name: str
+    n_calls: int = 0
+    total_s: float = 0.0     # inclusive: scope entry -> exit
+    self_s: float = 0.0      # exclusive: inclusive minus nested scopes
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def record(self, inclusive_s: float, exclusive_s: float) -> None:
+        self.n_calls += 1
+        self.total_s += inclusive_s
+        self.self_s += exclusive_s
+        self.min_s = min(self.min_s, inclusive_s)
+        self.max_s = max(self.max_s, inclusive_s)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.n_calls if self.n_calls else 0.0
+
+    def as_record(self) -> dict:
+        return {"kind": "scope", "name": self.name, "n_calls": self.n_calls,
+                "total_s": self.total_s, "self_s": self.self_s,
+                "min_s": self.min_s, "max_s": self.max_s}
+
+
+@dataclass
+class Counter:
+    """Monotonically accumulated total (e.g. examples trained)."""
+
+    name: str
+    value: float = 0.0
+    n_updates: int = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(got {amount})")
+        self.value += amount
+        self.n_updates += 1
+
+    def as_record(self) -> dict:
+        return {"kind": "counter", "name": self.name, "value": self.value,
+                "n_updates": self.n_updates}
+
+
+@dataclass
+class Gauge:
+    """Last-value-wins measurement with min/max/mean tracking."""
+
+    name: str
+    last: float = float("nan")
+    min: float = float("inf")
+    max: float = float("-inf")
+    total: float = 0.0
+    n_updates: int = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.last = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.total += value
+        self.n_updates += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n_updates if self.n_updates else float("nan")
+
+    def as_record(self) -> dict:
+        return {"kind": "gauge", "name": self.name, "last": self.last,
+                "min": self.min, "max": self.max, "total": self.total,
+                "n_updates": self.n_updates}
+
+
+class NullScope:
+    """Shared do-nothing scope returned while observability is disabled."""
+
+    __slots__ = ()
+    elapsed_s = 0.0
+
+    def __enter__(self) -> "NullScope":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: Module-wide singleton: the disabled path allocates nothing per call.
+NULL_SCOPE = NullScope()
+
+
+class _Scope:
+    """Context manager recording one timed region into a registry."""
+
+    __slots__ = ("_registry", "name", "elapsed_s", "_t0", "_path")
+
+    def __init__(self, registry: "Registry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "_Scope":
+        reg = self._registry
+        reg._path_parts.append(self.name)
+        self._path = "/".join(reg._path_parts)
+        reg._child_time.append(0.0)
+        self._t0 = reg._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        reg = self._registry
+        inclusive = reg._clock() - self._t0
+        nested = reg._child_time.pop()
+        reg._path_parts.pop()
+        self.elapsed_s = inclusive
+        stats = reg.scopes.get(self._path)
+        if stats is None:
+            stats = reg.scopes[self._path] = ScopeStats(self._path)
+        stats.record(inclusive, inclusive - nested)
+        if reg._child_time:
+            reg._child_time[-1] += inclusive
+        return False
+
+
+class Registry:
+    """Aggregation point for scopes, counters and gauges.
+
+    ``clock`` is injectable (monotonic by default) so timer arithmetic is
+    unit-testable with a fake clock.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.enabled = False
+        self.scopes = {}
+        self.counters = {}
+        self.gauges = {}
+        self._path_parts: list[str] = []
+        self._child_time: list[float] = []
+
+    # -- recording -------------------------------------------------------
+    def scope(self, name: str):
+        """Timed region; nesting builds ``/``-joined hierarchical paths."""
+        if not self.enabled:
+            return NULL_SCOPE
+        return _Scope(self, name)
+
+    def counter_add(self, name: str, amount: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        counter.add(amount)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        gauge.set(value)
+
+    # -- lifecycle -------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all recorded data (the enabled flag is left untouched)."""
+        self.scopes.clear()
+        self.counters.clear()
+        self.gauges.clear()
+        self._path_parts.clear()
+        self._child_time.clear()
+
+    # -- export ----------------------------------------------------------
+    def as_records(self) -> list[dict]:
+        """All recorded data as plain JSON-serializable dicts."""
+        records = [s.as_record() for s in self.scopes.values()]
+        records += [c.as_record() for c in self.counters.values()]
+        records += [g.as_record() for g in self.gauges.values()]
+        return records
+
+    def export_jsonl(self, path_or_file) -> None:
+        """Write one JSON object per record (schema: docs/OBSERVABILITY.md)."""
+        if hasattr(path_or_file, "write"):
+            self._write_jsonl(path_or_file)
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                self._write_jsonl(fh)
+
+    def _write_jsonl(self, fh) -> None:
+        for record in self.as_records():
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path_or_file) -> "Registry":
+        """Rebuild a registry from an exported JSONL stream."""
+        if hasattr(path_or_file, "read"):
+            lines = path_or_file.read().splitlines()
+        else:
+            with open(path_or_file, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        registry = cls()
+        for line in lines:
+            if not line.strip():
+                continue
+            record = dict(json.loads(line))
+            kind = record.pop("kind", None)
+            name = record.get("name")
+            if kind == "scope":
+                registry.scopes[name] = ScopeStats(**record)
+            elif kind == "counter":
+                registry.counters[name] = Counter(**record)
+            elif kind == "gauge":
+                registry.gauges[name] = Gauge(**record)
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        return registry
+
+    def __repr__(self) -> str:
+        return (f"Registry(enabled={self.enabled}, "
+                f"scopes={len(self.scopes)}, counters={len(self.counters)}, "
+                f"gauges={len(self.gauges)})")

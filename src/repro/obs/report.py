@@ -1,0 +1,63 @@
+"""Plain-text rendering of a registry — the observability analogue of
+:mod:`repro.experiments.ascii_plots`.
+
+The reproduction environment has no plotting or dashboard stack, so the
+summary is an aligned ASCII table: scopes sorted by inclusive time (with
+a block-character share bar for exclusive time), then counters, then
+gauges. ``summary()`` is what ``python -m repro.cli bench --obs`` and any
+instrumented driver print at exit.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Registry
+
+__all__ = ["summary_table"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _share_bar(fraction: float, width: int = 10) -> str:
+    """Block-art bar for a [0, 1] share (idiom of ascii_plots.sparkline)."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    full, rem = divmod(fraction * width, 1.0)
+    bar = _BLOCKS[-1] * int(full)
+    if rem > 0 and len(bar) < width:
+        bar += _BLOCKS[int(rem * (len(_BLOCKS) - 1))]
+    return bar.ljust(width)
+
+
+def summary_table(registry: Registry) -> str:
+    """Human-readable table of everything the registry recorded."""
+    lines: list[str] = []
+    if registry.scopes:
+        name_w = max(len("scope"), *(len(n) for n in registry.scopes))
+        total_self = sum(s.self_s for s in registry.scopes.values()) or 1.0
+        lines.append(f"{'scope'.ljust(name_w)}  {'calls':>7} {'total_s':>10} "
+                     f"{'self_s':>10} {'mean_s':>10}  self%")
+        ordered = sorted(registry.scopes.values(),
+                         key=lambda s: s.total_s, reverse=True)
+        for s in ordered:
+            share = s.self_s / total_self
+            lines.append(f"{s.name.ljust(name_w)}  {s.n_calls:>7d} "
+                         f"{s.total_s:>10.4f} {s.self_s:>10.4f} "
+                         f"{s.mean_s:>10.4f}  |{_share_bar(share)}| "
+                         f"{100.0 * share:5.1f}%")
+    if registry.counters:
+        if lines:
+            lines.append("")
+        name_w = max(len("counter"), *(len(n) for n in registry.counters))
+        lines.append(f"{'counter'.ljust(name_w)}  {'value':>14} {'updates':>9}")
+        for c in sorted(registry.counters.values(), key=lambda c: c.name):
+            lines.append(f"{c.name.ljust(name_w)}  {c.value:>14.6g} "
+                         f"{c.n_updates:>9d}")
+    if registry.gauges:
+        if lines:
+            lines.append("")
+        name_w = max(len("gauge"), *(len(n) for n in registry.gauges))
+        lines.append(f"{'gauge'.ljust(name_w)}  {'last':>12} {'min':>12} "
+                     f"{'max':>12} {'mean':>12}")
+        for g in sorted(registry.gauges.values(), key=lambda g: g.name):
+            lines.append(f"{g.name.ljust(name_w)}  {g.last:>12.6g} "
+                         f"{g.min:>12.6g} {g.max:>12.6g} {g.mean:>12.6g}")
+    return "\n".join(lines) if lines else "(registry is empty)"

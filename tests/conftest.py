@@ -10,6 +10,25 @@ from repro.data.sst import SSTConfig, SyntheticSST
 from repro.nas.space import StackedLSTMSpace
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Everything under tests/ is the fast tier-1 suite (see pyproject)."""
+    for item in items:
+        if "bench" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture(autouse=True)
+def _observability_isolation():
+    """Each test starts with a disabled, empty global obs registry and
+    cannot leak recorded state (or the enabled flag) into the next."""
+    from repro import obs
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
 @pytest.fixture(scope="session")
 def coarse_grid() -> LatLonGrid:
     """12-degree grid (15 x 30) — big enough for all geometry invariants."""

@@ -19,6 +19,22 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_help_documents_bench_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "bench" in out
+        assert "BENCH_core.json" in out
+
+    def test_bench_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--quick", "--reps", "--out", "--filter", "--obs"):
+            assert flag in out
+
     def test_unknown_preset_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig3", "--preset", "huge"])

@@ -7,7 +7,9 @@ makes the from-scratch framework equivalent to the paper's TF/Keras runs.
 import numpy as np
 import pytest
 
+from repro.nas.space.ops import default_operations, hybrid_operations
 from repro.nn import AddLayer, DenseLayer, LSTMLayer, Network
+from repro.nn.layers import GRULayer, IdentityLayer, SimpleRNNLayer
 from repro.nn.losses import MeanSquaredError
 
 LOSS = MeanSquaredError()
@@ -160,3 +162,96 @@ class TestNetworkGradients:
         x = rng.standard_normal((2, 3, 2))
         y = rng.standard_normal((2, 3, 2))
         self._check_network(net, x, y, rng)
+
+    def test_hybrid_cell_skip_dag(self, rng):
+        """Skip connections through GRU/SimpleRNN nodes (hybrid catalog)."""
+        net = Network(input_dim=3, rng=4)
+        net.add_node("g1", GRULayer(4), ["input"])
+        net.add_node("proj", DenseLayer(4), ["input"])
+        net.add_node("merge", AddLayer("relu"), ["g1", "proj"])
+        net.add_node("r1", SimpleRNNLayer(3), ["merge"])
+        net.add_node("out", LSTMLayer(2), ["r1"])
+        x = rng.standard_normal((2, 4, 3))
+        y = rng.standard_normal((2, 4, 2))
+        self._check_network(net, x, y, rng)
+
+
+# Every distinct operation exposed by the search-space catalogs
+# (default_operations + hybrid_operations) — any op a search can reach.
+SPACE_OPS = sorted({(op.kind, op.units)
+                    for op in default_operations() + hybrid_operations()})
+
+_CELL_LAYERS = {"lstm": LSTMLayer, "gru": GRULayer, "rnn": SimpleRNNLayer}
+
+
+def probe_gradient_check(layer, inputs, rng, *, n_probes=24, eps=1e-6,
+                         rtol=1e-5, atol=1e-7):
+    """Central-difference check on sampled parameter/input coordinates.
+
+    Sampling (instead of the exhaustive sweep above) keeps the check
+    affordable for the catalog's large cells (up to LSTM(96)) while still
+    covering every parameter tensor of every op at rtol 1e-5.
+    """
+    out = layer.forward(inputs)
+    grad_out = rng.standard_normal(out.shape)
+    layer.zero_grads()
+    layer.forward(inputs)
+    input_grads = layer.backward(grad_out)
+
+    def objective():
+        return float(np.sum(layer.forward(inputs) * grad_out))
+
+    probe_rng = np.random.default_rng(0)
+
+    def check_coordinates(array, analytic, label):
+        flat, gflat = array.ravel(), analytic.ravel()
+        picks = probe_rng.choice(flat.size, size=min(n_probes, flat.size),
+                                 replace=False)
+        for i in picks:
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = objective()
+            flat[i] = orig - eps
+            down = objective()
+            flat[i] = orig
+            numeric = (up - down) / (2 * eps)
+            assert gflat[i] == pytest.approx(numeric, rel=rtol, abs=atol), \
+                f"{label} coordinate {i}"
+
+    for name, param in layer.params.items():
+        check_coordinates(param, layer.grads[name], f"param {name}")
+    for k, x in enumerate(inputs):
+        check_coordinates(x, input_grads[k], f"input {k}")
+
+
+class TestSearchSpaceOpGradients:
+    """Finite-difference coverage of *every* op the search space exposes
+    (ops.py catalogs): each recurrent cell at each catalog size, the
+    identity op, and the elementwise add combiner."""
+
+    @pytest.mark.parametrize(
+        "kind,units", SPACE_OPS,
+        ids=[f"{k}{u}" if u else k for k, u in SPACE_OPS])
+    def test_catalog_op(self, kind, units, rng):
+        if kind == "identity":
+            layer = IdentityLayer()
+            layer.build([3], rng=0)
+            x = rng.standard_normal((2, 3, 3))
+            out = layer.forward([x])
+            np.testing.assert_array_equal(out, x)
+            grad = rng.standard_normal(out.shape)
+            (grad_in,) = layer.backward(grad)
+            np.testing.assert_array_equal(grad_in, grad)
+            return
+        layer = _CELL_LAYERS[kind](units)
+        layer.build([5], rng=0)
+        probe_gradient_check(layer, [rng.standard_normal((2, 4, 5))], rng)
+
+    @pytest.mark.parametrize("activation", ["relu", "identity", "tanh"])
+    def test_elementwise_combiner(self, activation, rng):
+        """The add-merge node (skip-connection combiner) for every
+        activation the DAG builder can attach to it."""
+        layer = AddLayer(activation)
+        layer.build([4, 4, 4], rng=0)
+        inputs = [rng.standard_normal((2, 3, 4)) + 0.1 for _ in range(3)]
+        probe_gradient_check(layer, inputs, rng)

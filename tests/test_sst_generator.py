@@ -1,3 +1,5 @@
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -27,6 +29,35 @@ class TestDeterminism:
                                    equal_nan=True)
         np.testing.assert_allclose(fields[1], generator.field(50),
                                    equal_nan=True)
+
+
+class TestGoldenArchive:
+    """Pinned digests of the synthetic archive: any change to the
+    generator's numerics (patterns, oscillators, eddy seeding) shows up
+    here as a cross-run reproducibility break, not as silent drift of
+    every downstream science result."""
+
+    # SHA-256 of the first 4 snapshots at 4 degrees, values rounded to
+    # 1e-6 degC (absorbs last-bit FP noise, pins everything physical).
+    GOLDEN = {
+        0: "a1fcfefd0de8bc1432f3e8120aea76ce"
+           "00160c6ec139cbee83b7c9d0963bb2ec",
+        123: "76413223354e0ddb4902c568fa9484f6"
+             "44ccc32e469d9a37c2c454b0809388d8",
+    }
+
+    @staticmethod
+    def _digest(seed: int) -> str:
+        gen = SyntheticSST(grid=LatLonGrid(degrees=4.0), seed=seed)
+        fields = gen.fields(np.arange(4))
+        return hashlib.sha256(np.round(fields, 6).tobytes()).hexdigest()
+
+    @pytest.mark.parametrize("seed", sorted(GOLDEN))
+    def test_archive_digest_is_pinned(self, seed):
+        assert self._digest(seed) == self.GOLDEN[seed]
+
+    def test_digests_distinguish_seeds(self):
+        assert len(set(self.GOLDEN.values())) == len(self.GOLDEN)
 
 
 class TestFieldStructure:
