@@ -12,7 +12,15 @@ from repro.bench.core import (
     run_suite,
     validate_bench_data,
 )
+from repro.bench.compare import (
+    BenchComparison,
+    ComparisonRow,
+    compare_bench,
+    load_bench_file,
+)
 from repro.bench.suite import default_suite
 
 __all__ = ["Benchmark", "BenchResult", "run_benchmark", "run_suite",
-           "validate_bench_data", "default_suite"]
+           "validate_bench_data", "default_suite",
+           "BenchComparison", "ComparisonRow", "compare_bench",
+           "load_bench_file"]

@@ -1,0 +1,115 @@
+"""Benchmark-to-baseline comparison behind ``repro bench --compare``.
+
+Compares a freshly measured suite against a committed baseline
+(``BENCH_core.json`` from an earlier PR) and renders a per-benchmark
+delta table. A benchmark regresses when its mean slows down by more than
+``threshold`` (default 20%); any regression makes the comparison fail, so
+CI can gate on ``python -m repro.cli bench --compare OLD.json``.
+Benchmarks present on only one side are listed but never fail the run —
+suites legitimately grow and shrink across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = ["BenchComparison", "ComparisonRow", "compare_bench",
+           "load_bench_file"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Delta of one benchmark present in both suites."""
+
+    name: str
+    old_mean_s: float
+    new_mean_s: float
+
+    @property
+    def delta(self) -> float:
+        """Relative change of the mean; positive means slower."""
+        return (self.new_mean_s - self.old_mean_s) / self.old_mean_s
+
+    @property
+    def speedup(self) -> float:
+        return self.old_mean_s / self.new_mean_s
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of comparing a new suite against a baseline."""
+
+    rows: tuple[ComparisonRow, ...]
+    threshold: float
+    missing_in_new: tuple[str, ...]
+    only_in_new: tuple[str, ...]
+
+    @property
+    def regressions(self) -> tuple[ComparisonRow, ...]:
+        return tuple(r for r in self.rows if r.delta > self.threshold)
+
+    @property
+    def improvements(self) -> tuple[ComparisonRow, ...]:
+        return tuple(r for r in self.rows if r.delta < -self.threshold)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def table(self) -> str:
+        """ASCII delta table, worst regression first."""
+        lines = [f"{'benchmark':40s} {'old ms':>10s} {'new ms':>10s} "
+                 f"{'delta':>8s}  verdict"]
+        for row in sorted(self.rows, key=lambda r: -r.delta):
+            if row.delta > self.threshold:
+                verdict = "REGRESSED"
+            elif row.delta < -self.threshold:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"{row.name:40s} {row.old_mean_s * 1e3:10.3f} "
+                f"{row.new_mean_s * 1e3:10.3f} {row.delta * 100:+7.1f}%  "
+                f"{verdict}")
+        for name in self.missing_in_new:
+            lines.append(f"{name:40s} {'-':>10s} {'-':>10s} {'':8s}  "
+                         f"missing from new run")
+        for name in self.only_in_new:
+            lines.append(f"{name:40s} {'-':>10s} {'-':>10s} {'':8s}  "
+                         f"new benchmark (no baseline)")
+        lines.append(
+            f"-- {len(self.rows)} compared, "
+            f"{len(self.regressions)} regressed (>{self.threshold:.0%}), "
+            f"{len(self.improvements)} improved, "
+            f"{len(self.missing_in_new)} missing, "
+            f"{len(self.only_in_new)} new")
+        return "\n".join(lines)
+
+
+def compare_bench(old: dict, new: dict, *,
+                  threshold: float = 0.20) -> BenchComparison:
+    """Compare two BENCH_core.json payloads (``{name: {mean_s: ...}}``)."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    shared = sorted(set(old) & set(new))
+    rows = tuple(ComparisonRow(name=name,
+                               old_mean_s=float(old[name]["mean_s"]),
+                               new_mean_s=float(new[name]["mean_s"]))
+                 for name in shared)
+    return BenchComparison(
+        rows=rows, threshold=float(threshold),
+        missing_in_new=tuple(sorted(set(old) - set(new))),
+        only_in_new=tuple(sorted(set(new) - set(old))))
+
+
+def load_bench_file(path) -> dict:
+    """Load and lightly check a benchmark JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: bench file must contain a JSON object")
+    for name, entry in data.items():
+        if not isinstance(entry, dict) or "mean_s" not in entry:
+            raise ValueError(f"{path}: entry {name!r} lacks mean_s")
+    return data

@@ -150,11 +150,88 @@ def _random_search_benchmark() -> Benchmark:
                               "full 5-layer space"})
 
 
-def default_suite(quick: bool = True) -> list[Benchmark]:
-    """The BENCH_core.json suite (8 benchmarks quick, 11 full)."""
+#: Pool sizes of the serial-vs-pool throughput benchmarks.
+_PARALLEL_WORKER_COUNTS = (1, 2, 4)
+
+
+#: Modeled per-evaluation node latency of the pool benchmarks (seconds).
+_PACE_SECONDS = 0.08
+
+
+def _parallel_search_evaluator():
+    """A latency-bound random-search slice: surrogate quality plus the
+    per-evaluation node occupancy the real machine pays.
+
+    An evaluation on Theta holds a node for minutes while the search
+    master merely waits, so the quantity a dispatch backend improves is
+    *overlapped latency* — which also keeps this benchmark meaningful on
+    single-core CI runners, where compute-bound work cannot speed up.
+    """
+    from repro.nas.evaluation import PacedEvaluator, SurrogateEvaluator
+    from repro.nas.space.ops import Operation
+    from repro.nas.space.search_space import StackedLSTMSpace
+    ops = (Operation("identity"), Operation("lstm", 8),
+           Operation("lstm", 16), Operation("lstm", 24))
+    space = StackedLSTMSpace(n_layers=3, input_dim=5, output_dim=5,
+                             operations=ops, max_skip_depth=3)
+    evaluator = PacedEvaluator(SurrogateEvaluator(space),
+                               pace_seconds=_PACE_SECONDS)
+    return space, evaluator
+
+
+def _parallel_search_benchmark(workers: int | None,
+                               quick: bool) -> Benchmark:
+    """Throughput of one random-search slice through an evaluation
+    backend: ``workers=None`` is the in-process serial reference, else a
+    ``workers``-process pool (same tasks, bitwise-identical results)."""
+    n_evaluations = 8 if quick else 16
+
+    def make():
+        from repro.hpc.parallel import ParallelEvaluator, SerialEvaluator
+        from repro.utils.rng import child_sequence, spawn_sequences
+        space, evaluator = _parallel_search_evaluator()
+        rng = np.random.default_rng(1)
+        archs = [space.random_architecture(rng)
+                 for _ in range(n_evaluations)]
+        seeds = spawn_sequences(2, n_evaluations)
+        if workers is None:
+            backend = SerialEvaluator(evaluator)
+        else:
+            backend = ParallelEvaluator(evaluator, n_workers=workers)
+
+        def run():
+            handles = [backend.submit(arch, seed)
+                       for arch, seed in zip(archs, seeds)]
+            for handle in handles:
+                backend.gather(handle)
+        return run
+
+    label = "serial" if workers is None else f"w{workers}"
+    return Benchmark(
+        name=f"parallel_search_{label}",
+        make=make,
+        metadata={"workers": 0 if workers is None else workers,
+                  "n_evaluations": n_evaluations,
+                  "pace_seconds": _PACE_SECONDS, "fidelity": "surrogate",
+                  "measures": "submit/gather throughput of a paced "
+                              "random-search slice through the evaluation "
+                              "backend (serial vs process pool)"})
+
+
+def default_suite(quick: bool = True, *,
+                  max_workers: int = 4) -> list[Benchmark]:
+    """The BENCH_core.json suite (12 benchmarks quick, 15 full).
+
+    ``max_workers`` caps the pool sizes of the serial-vs-pool throughput
+    benchmarks (``repro bench --workers``); 0 drops them entirely.
+    """
     points = _QUICK_CELL_POINTS if quick else _FULL_CELL_POINTS
     suite = [_cell_benchmark(*p) for p in points]
     suite.append(_trainer_epoch_benchmark(quick))
     suite.append(_pod_basis_benchmark(quick))
     suite.append(_random_search_benchmark())
+    if max_workers > 0:
+        suite.append(_parallel_search_benchmark(None, quick))
+        suite.extend(_parallel_search_benchmark(w, quick)
+                     for w in _PARALLEL_WORKER_COUNTS if w <= max_workers)
     return suite

@@ -1,5 +1,5 @@
-"""Command-line entry point: regenerate any paper table or figure, or
-run the core microbenchmark suite.
+"""Command-line entry point: regenerate any paper table or figure, run
+the core microbenchmark suite, or drive a NAS search directly.
 
 Usage::
 
@@ -8,7 +8,9 @@ Usage::
     python -m repro table3 --preset full
     python -m repro all --preset quick
     python -m repro bench --quick            # writes BENCH_core.json
+    python -m repro bench --quick --compare OLD.json   # perf gate
     python -m repro bench --obs --jsonl run.obs.jsonl
+    python -m repro search --algorithm rs --workers 4  # pooled search
 """
 
 from __future__ import annotations
@@ -76,12 +78,22 @@ def bench_main(argv: list[str]) -> int:
                              "run and print its summary table")
     parser.add_argument("--jsonl", default=None, metavar="PATH",
                         help="with --obs: export the registry as JSONL")
+    parser.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="largest pool size of the serial-vs-pool "
+                             "throughput benchmarks; 0 skips them "
+                             "(default: 4)")
+    parser.add_argument("--compare", default=None, metavar="OLD.json",
+                        help="after the run, print a delta table against "
+                             "this baseline and exit 1 on any >20%% "
+                             "regression")
     args = parser.parse_args(argv)
 
     from repro import obs
     from repro.bench import default_suite, run_suite
 
-    suite = default_suite(quick=args.quick)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    suite = default_suite(quick=args.quick, max_workers=args.workers)
     if args.filter is not None:
         suite = [b for b in suite if args.filter in b.name]
         if not suite:
@@ -99,7 +111,7 @@ def bench_main(argv: list[str]) -> int:
         obs.enable()
     print(f"running {len(suite)} benchmarks "
           f"({'quick' if args.quick else 'full'} sizes, reps={reps})")
-    run_suite(suite, reps=reps, out_path=args.out, progress=print)
+    results = run_suite(suite, reps=reps, out_path=args.out, progress=print)
     print(f"wrote {args.out}")
     if args.obs:
         print()
@@ -107,6 +119,97 @@ def bench_main(argv: list[str]) -> int:
         if args.jsonl is not None:
             obs.export_jsonl(args.jsonl)
             print(f"wrote {args.jsonl}")
+    if args.compare is not None:
+        from repro.bench import compare_bench, load_bench_file
+        new = {name: r.as_json() for name, r in results.items()}
+        comparison = compare_bench(load_bench_file(args.compare), new)
+        print()
+        print(f"comparison against {args.compare}:")
+        print(comparison.table())
+        if not comparison.ok:
+            return 1
+    return 0
+
+
+def search_main(argv: list[str]) -> int:
+    """``repro search`` — run one NAS search on the simulated cluster,
+    optionally evaluating on a real process pool (``--workers``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro search",
+        description="Run an architecture search (surrogate fidelity) on "
+                    "the simulated Theta partition and print the paper's "
+                    "scaling metrics.")
+    parser.add_argument("--algorithm", choices=("ae", "rs", "rl"),
+                        default="ae",
+                        help="aging evolution, random search, or "
+                             "distributed PPO (default: ae)")
+    parser.add_argument("--nodes", type=int, default=16, metavar="N",
+                        help="simulated partition size (default: 16)")
+    parser.add_argument("--wall", type=float, default=3600.0, metavar="S",
+                        help="simulated wall-clock budget in seconds "
+                             "(default: 3600)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="evaluation processes: omit for in-loop "
+                             "evaluation, 0 for the serial backend, N>=1 "
+                             "for a pool of N workers (identical results "
+                             "either way)")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="master seed of the run (default: 0)")
+    parser.add_argument("--agents", type=int, default=2, metavar="N",
+                        help="PPO masters for --algorithm rl (default: 2)")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable observability and print its summary "
+                             "(includes the parallel/* pool metrics)")
+    args = parser.parse_args(argv)
+    if args.nodes < 1:
+        parser.error(f"--nodes must be >= 1, got {args.nodes}")
+    if args.wall <= 0:
+        parser.error(f"--wall must be positive, got {args.wall}")
+
+    from repro import obs
+    from repro.hpc import ThetaPartition, rl_node_allocation, run_search
+    from repro.nas import (
+        AgingEvolution,
+        ArchitecturePerformanceModel,
+        DistributedRL,
+        RandomSearch,
+        SurrogateEvaluator,
+    )
+    from repro.nas.space.ops import default_operations
+    from repro.nas.space.search_space import StackedLSTMSpace
+
+    space = StackedLSTMSpace(n_layers=5, input_dim=5, output_dim=5,
+                             operations=default_operations())
+    evaluator = SurrogateEvaluator(
+        space, ArchitecturePerformanceModel(space, seed=args.seed))
+    if args.algorithm == "ae":
+        algorithm = AgingEvolution(space, rng=args.seed)
+    elif args.algorithm == "rs":
+        algorithm = RandomSearch(space, rng=args.seed)
+    else:
+        alloc = rl_node_allocation(args.nodes, args.agents)
+        algorithm = DistributedRL(space, rng=args.seed,
+                                  n_agents=args.agents,
+                                  workers_per_agent=alloc.workers_per_agent)
+    partition = ThetaPartition(n_nodes=args.nodes, wall_seconds=args.wall)
+    if args.obs:
+        obs.enable()
+    mode = "in-loop" if args.workers is None else (
+        "serial backend" if args.workers == 0
+        else f"{args.workers}-worker pool")
+    print(f"search: {args.algorithm} on {args.nodes} simulated nodes, "
+          f"{args.wall:g}s simulated wall, evaluation: {mode}")
+    tracker = run_search(algorithm, evaluator, partition, rng=args.seed,
+                         workers=args.workers)
+    print(f"evaluations completed: {tracker.n_evaluations}")
+    print(f"failures:              {tracker.n_failures}")
+    print(f"node utilization:      {tracker.node_utilization():.3f}")
+    print(f"best reward:           {algorithm.best_reward:.4f}")
+    if algorithm.best_architecture is not None:
+        print(f"best architecture:     {algorithm.best_architecture}")
+    if args.obs:
+        print()
+        print(obs.summary())
     return 0
 
 
@@ -115,17 +218,21 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "search":
+        return search_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the SC 2020 POD-LSTM "
                     "NAS paper on the synthetic archive.",
-        epilog="Additional subcommand: 'repro bench' runs the core "
-               "microbenchmark suite and writes BENCH_core.json "
-               "(see 'repro bench --help').")
+        epilog="Additional subcommands: 'repro bench' runs the core "
+               "microbenchmark suite and writes BENCH_core.json; "
+               "'repro search' runs one NAS search, optionally on a "
+               "process pool via --workers (see their --help).")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list",
-                                                       "bench"],
-                        help="experiment id, 'all', 'list', or 'bench'")
+                                                       "bench", "search"],
+                        help="experiment id, 'all', 'list', 'bench', or "
+                             "'search'")
     parser.add_argument("--preset", choices=("quick", "full"),
                         default="quick",
                         help="training/search budgets (default: quick)")

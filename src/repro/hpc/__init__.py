@@ -21,6 +21,12 @@ from repro.hpc.event_queue import EventQueue
 from repro.hpc.theta import ThetaPartition, rl_node_allocation
 from repro.hpc.tracking import EvaluationRecord, SearchTracker
 from repro.hpc.cluster import ClusterConfig
+from repro.hpc.parallel import (
+    EvaluationBackend,
+    ParallelEvaluator,
+    SerialEvaluator,
+    evaluation_backend,
+)
 from repro.hpc.executor import (
     run_asynchronous_search,
     run_synchronous_rl_search,
@@ -34,6 +40,10 @@ __all__ = [
     "EvaluationRecord",
     "SearchTracker",
     "ClusterConfig",
+    "EvaluationBackend",
+    "ParallelEvaluator",
+    "SerialEvaluator",
+    "evaluation_backend",
     "run_asynchronous_search",
     "run_synchronous_rl_search",
     "run_search",

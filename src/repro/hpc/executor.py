@@ -15,6 +15,17 @@ Both return the populated :class:`~repro.hpc.tracking.SearchTracker`.
 Evaluations still in flight at the wall limit keep their node busy
 (counted in utilization) but are not recorded as completed — matching how
 the paper counts evaluations.
+
+Both executors optionally route evaluations through an
+:class:`~repro.hpc.parallel.EvaluationBackend` (``backend=`` or
+``workers=``): simulated timestamps are assigned exactly as in the
+in-loop path, but the evaluations themselves run on a process pool.
+Backend mode derives one order-stable task stream per evaluation
+(:func:`repro.utils.rng.child_sequence`) instead of threading the node
+streams through ``evaluate``, so a backend run is bitwise identical
+across worker counts — though not to the legacy ``backend=None`` path,
+whose historical node-stream threading is preserved untouched
+(docs/PARALLELISM.md).
 """
 
 from __future__ import annotations
@@ -24,37 +35,65 @@ import numpy as np
 from repro import obs
 from repro.hpc.cluster import ClusterConfig
 from repro.hpc.event_queue import EventQueue
+from repro.hpc.parallel import EvaluationBackend, TaskFeed, \
+    evaluation_backend
 from repro.hpc.theta import ThetaPartition, rl_node_allocation
 from repro.hpc.tracking import EvaluationRecord, SearchTracker
 from repro.nas.algorithms.base import SearchAlgorithm
 from repro.nas.algorithms.rl_nas import DistributedRL
 from repro.nas.evaluation import Evaluator
-from repro.utils.rng import as_generator, spawn
+from repro.utils.rng import as_generator, as_seed_sequence, spawn
 
 __all__ = ["run_asynchronous_search", "run_synchronous_rl_search",
            "run_search"]
 
 
+def _resolve_backend(evaluator: Evaluator,
+                     backend: EvaluationBackend | None,
+                     workers: int | None
+                     ) -> tuple[EvaluationBackend | None, bool]:
+    """``(backend, owned)`` for the ``backend=``/``workers=`` pair; an
+    executor closes a backend only if it built it here."""
+    if backend is not None:
+        if workers is not None:
+            raise ValueError("pass either backend= or workers=, not both")
+        return backend, False
+    return evaluation_backend(evaluator, workers), True
+
+
 def run_asynchronous_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
                             partition: ThetaPartition, *,
                             cluster: ClusterConfig | None = None,
-                            rng=None) -> SearchTracker:
+                            rng=None,
+                            backend: EvaluationBackend | None = None,
+                            workers: int | None = None) -> SearchTracker:
     """Simulate a fully asynchronous search (AE or RS)."""
     if not algorithm.asynchronous:
         raise ValueError(
             f"{type(algorithm).__name__} is synchronous; use "
             "run_synchronous_rl_search")
+    backend, owned = _resolve_backend(evaluator, backend, workers)
     cluster = cluster or ClusterConfig()
     tracker = SearchTracker(partition.n_nodes, partition.wall_seconds)
     queue = EventQueue()
-    node_rngs = spawn(rng, partition.n_nodes)
+    gen = as_generator(rng)
+    node_rngs = spawn(gen, partition.n_nodes)
+    feed = None
+    if backend is not None:
+        # Task streams are grandchildren of the run root (the node
+        # streams are its first n_nodes children) — no collisions.
+        feed = TaskFeed(algorithm, backend,
+                        as_seed_sequence(gen).spawn(1)[0])
 
     def start_cycle(node: int) -> None:
         overhead = cluster.sample_launch_overhead(node_rngs[node])
 
         def launch() -> None:
-            arch = algorithm.ask()
-            result = evaluator.evaluate(arch, node_rngs[node])
+            if feed is not None:
+                arch, result = feed.next_result()
+            else:
+                arch = algorithm.ask()
+                result = evaluator.evaluate(arch, node_rngs[node])
             start = queue.now
             tracker.node_busy(start)
             failure_frac = cluster.sample_failure(node_rngs[node])
@@ -85,10 +124,14 @@ def run_asynchronous_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
         queue.schedule(overhead, launch)
 
     run_scope = obs.scope("hpc/run_asynchronous_search")
-    with run_scope:
-        for node in range(partition.n_nodes):
-            start_cycle(node)
-        queue.run_until(partition.wall_seconds)
+    try:
+        with run_scope:
+            for node in range(partition.n_nodes):
+                start_cycle(node)
+            queue.run_until(partition.wall_seconds)
+    finally:
+        if owned and backend is not None:
+            backend.close()
     _record_run_metrics(tracker, partition, run_scope.elapsed_s)
     return tracker
 
@@ -116,7 +159,9 @@ def _record_run_metrics(tracker: SearchTracker, partition: ThetaPartition,
 def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
                               partition: ThetaPartition, *,
                               cluster: ClusterConfig | None = None,
-                              rng=None) -> SearchTracker:
+                              rng=None,
+                              backend: EvaluationBackend | None = None,
+                              workers: int | None = None) -> SearchTracker:
     """Simulate the synchronous multi-agent RL search."""
     if algorithm.asynchronous:
         raise ValueError("expected a synchronous (DistributedRL) algorithm")
@@ -126,12 +171,34 @@ def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
             f"algorithm configured for {algorithm.workers_per_agent} "
             f"workers/agent but {partition.n_nodes} nodes allocate "
             f"{alloc.workers_per_agent}")
+    backend, owned = _resolve_backend(evaluator, backend, workers)
     cluster = cluster or ClusterConfig()
     tracker = SearchTracker(partition.n_nodes, partition.wall_seconds)
     queue = EventQueue()
     gen = as_generator(rng)
     # Node ids: [0, n_agents) are agents; workers follow.
     worker_rngs = spawn(gen, alloc.n_workers)
+    feed = None
+    if backend is not None:
+        feed = TaskFeed(algorithm, backend, as_seed_sequence(gen).spawn(1)[0])
+
+    def evaluate_round(batches):
+        """Evaluate one round's batch; a whole round is independent given
+        its task seeds, so backend mode submits all of it before the
+        first gather — the round is the pool's natural unit of
+        concurrency."""
+        if feed is None:
+            return [[evaluator.evaluate(batches[agent_idx][w],
+                                        worker_rngs[agent_idx
+                                                    * alloc.workers_per_agent
+                                                    + w])
+                     for w in range(alloc.workers_per_agent)]
+                    for agent_idx in range(alloc.n_agents)]
+        handles = [[backend.submit(tuple(batches[agent_idx][w]),
+                                   feed.next_sequence())
+                    for w in range(alloc.workers_per_agent)]
+                   for agent_idx in range(alloc.n_agents)]
+        return [[backend.gather(h) for h in row] for row in handles]
 
     def start_round() -> None:
         batches = algorithm.propose_round()
@@ -144,14 +211,19 @@ def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
             if state["remaining"] == 0:
                 barrier_reached()
 
+        overheads = [cluster.sample_launch_overhead(worker_rngs[worker])
+                     for worker in range(alloc.n_workers)]
+        results = evaluate_round(batches)
+        failure_fracs = [cluster.sample_failure(worker_rngs[worker])
+                         for worker in range(alloc.n_workers)]
         for agent_idx in range(alloc.n_agents):
             for w in range(alloc.workers_per_agent):
                 worker = agent_idx * alloc.workers_per_agent + w
                 node = alloc.n_agents + worker
                 arch = batches[agent_idx][w]
-                overhead = cluster.sample_launch_overhead(worker_rngs[worker])
-                result = evaluator.evaluate(arch, worker_rngs[worker])
-                failure_frac = cluster.sample_failure(worker_rngs[worker])
+                overhead = overheads[worker]
+                result = results[agent_idx][w]
+                failure_frac = failure_fracs[worker]
 
                 def launch(agent_idx=agent_idx, w=w, node=node, arch=arch,
                            result=result, failure_frac=failure_frac) -> None:
@@ -196,9 +268,13 @@ def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
             queue.schedule(cluster.rl_update_seconds, update_done)
 
     run_scope = obs.scope("hpc/run_synchronous_rl_search")
-    with run_scope:
-        start_round()
-        queue.run_until(partition.wall_seconds)
+    try:
+        with run_scope:
+            start_round()
+            queue.run_until(partition.wall_seconds)
+    finally:
+        if owned and backend is not None:
+            backend.close()
     _record_run_metrics(tracker, partition, run_scope.elapsed_s)
     return tracker
 
@@ -206,14 +282,17 @@ def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
 def run_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
                partition: ThetaPartition, *,
                cluster: ClusterConfig | None = None,
-               rng=None) -> SearchTracker:
+               rng=None, backend: EvaluationBackend | None = None,
+               workers: int | None = None) -> SearchTracker:
     """Dispatch on the algorithm's execution model."""
     if algorithm.asynchronous:
         return run_asynchronous_search(algorithm, evaluator, partition,
-                                       cluster=cluster, rng=rng)
+                                       cluster=cluster, rng=rng,
+                                       backend=backend, workers=workers)
     if not isinstance(algorithm, DistributedRL):
         raise TypeError(
             f"synchronous execution supports DistributedRL, got "
             f"{type(algorithm).__name__}")
     return run_synchronous_rl_search(algorithm, evaluator, partition,
-                                     cluster=cluster, rng=rng)
+                                     cluster=cluster, rng=rng,
+                                     backend=backend, workers=workers)

@@ -22,6 +22,7 @@ from repro.nas.algorithms import (
 from repro.nas.evaluation import (
     EvaluationResult,
     Evaluator,
+    PacedEvaluator,
     RealTrainingEvaluator,
     SurrogateEvaluator,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "RandomSearch",
     "EvaluationResult",
     "Evaluator",
+    "PacedEvaluator",
     "RealTrainingEvaluator",
     "SurrogateEvaluator",
     "ArchitecturePerformanceModel",

@@ -24,6 +24,14 @@ class SearchAlgorithm:
     #: executor the cluster simulator pairs it with).
     asynchronous: bool = True
 
+    #: Whether the proposal stream is independent of pending tells, i.e.
+    #: the k-th ask() returns the same architecture no matter how many
+    #: results have been reported. Lets the parallel evaluation backend
+    #: issue asks ahead of the event loop and keep a full pool in flight
+    #: (repro.hpc.parallel.TaskFeed). Feedback-driven searches must leave
+    #: this False.
+    speculative_ask: bool = False
+
     def __init__(self, space: StackedLSTMSpace, rng=None) -> None:
         self.space = space
         self.rng = as_generator(rng)

@@ -18,6 +18,9 @@ class RandomSearch(SearchAlgorithm):
     """Uniform random sampling over the architecture space."""
 
     asynchronous = True
+    # Proposals never depend on rewards: the backend may ask ahead and
+    # keep every pool worker busy without changing the sample stream.
+    speculative_ask = True
 
     def _propose(self) -> Architecture:
         return self.space.random_architecture(self.rng)

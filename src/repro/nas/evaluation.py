@@ -28,7 +28,7 @@ from repro.nn.training import Trainer
 from repro.utils.rng import as_generator
 
 __all__ = ["EvaluationResult", "Evaluator", "RealTrainingEvaluator",
-           "SurrogateEvaluator"]
+           "SurrogateEvaluator", "PacedEvaluator"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,34 @@ class SurrogateEvaluator(Evaluator):
             architecture=tuple(arch), reward=reward, duration=duration,
             n_parameters=self.space.count_parameters(arch),
             metadata={"fidelity": "surrogate", "epochs": self.epochs})
+
+
+class PacedEvaluator(Evaluator):
+    """Wrap an evaluator with real wall-clock latency per evaluation.
+
+    On the actual machine an evaluation occupies a node for minutes while
+    the master merely waits; this wrapper reintroduces that latency
+    (``pace_seconds`` of ``time.sleep`` around the inner evaluation) so
+    dispatch machinery can be exercised and benchmarked under realistic
+    conditions: a process pool overlaps the waits of concurrent
+    evaluations even on a single core, exactly as the real cluster
+    overlaps node occupancy. Results are those of the inner evaluator,
+    bitwise — pacing never touches the rng stream.
+    """
+
+    def __init__(self, inner: Evaluator, *, pace_seconds: float) -> None:
+        super().__init__(inner.space)
+        if pace_seconds < 0:
+            raise ValueError(
+                f"pace_seconds must be non-negative, got {pace_seconds}")
+        self.inner = inner
+        self.pace_seconds = float(pace_seconds)
+
+    def evaluate(self, arch: Architecture, rng=None) -> EvaluationResult:
+        result = self.inner.evaluate(arch, rng)
+        if self.pace_seconds > 0:
+            time.sleep(self.pace_seconds)
+        return result
 
 
 class RealTrainingEvaluator(Evaluator):

@@ -5,13 +5,23 @@ Every stochastic component in the library accepts either an integer seed,
 ``spawn`` derives statistically independent child generators so that, e.g.,
 each simulated compute node or each search repetition has its own stream
 while the whole experiment stays reproducible from a single seed.
+
+For work that is shipped across process boundaries (the parallel
+evaluation backend, :mod:`repro.hpc.parallel`), generators are the wrong
+currency: their state mutates with every draw, so results would depend on
+scheduling order. ``child_sequence`` instead derives an *order-stable*
+:class:`numpy.random.SeedSequence` per task id — the same ``(root, id)``
+pair always names the same stream, no matter when, where, or in which
+order the streams are instantiated. This is the determinism contract
+behind the serial-equivalence guarantee (docs/PARALLELISM.md).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn"]
+__all__ = ["as_generator", "spawn", "as_seed_sequence", "child_sequence",
+           "spawn_sequences"]
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -34,3 +44,48 @@ def spawn(rng: int | np.random.Generator | None, n: int) -> list[np.random.Gener
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
     return as_generator(rng).spawn(n)
+
+
+def as_seed_sequence(
+        seed: int | np.random.Generator | np.random.SeedSequence | None
+        ) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    A ``Generator`` yields the sequence backing its bit generator (shared,
+    so subsequent ``spawn`` calls on either view stay coordinated); an int
+    or ``None`` seeds a fresh sequence.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return seed.bit_generator.seed_seq
+    return np.random.SeedSequence(seed)
+
+
+def child_sequence(root: np.random.SeedSequence,
+                   index: int) -> np.random.SeedSequence:
+    """The ``index``-th child stream of ``root``, independent of call order.
+
+    Mirrors ``SeedSequence.spawn`` (appends ``index`` to the spawn key)
+    but takes the child index explicitly instead of a hidden counter, so
+    the mapping ``(root, index) -> stream`` is a pure function: tasks can
+    be seeded in any order — or concurrently in other processes — and
+    task ``k`` always receives the same stream. Distinct indices extend
+    the spawn key differently, so streams never collide.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(root.spawn_key) + (int(index),))
+
+
+def spawn_sequences(
+        seed: int | np.random.Generator | np.random.SeedSequence | None,
+        n: int) -> list[np.random.SeedSequence]:
+    """``n`` order-stable child sequences of ``seed`` (see
+    :func:`child_sequence`)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = as_seed_sequence(seed)
+    return [child_sequence(root, i) for i in range(n)]

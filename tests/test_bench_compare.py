@@ -1,0 +1,93 @@
+"""The bench regression gate: repro bench --compare OLD.json."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import compare_bench, load_bench_file
+from repro.cli import main
+
+
+def _entry(mean_s, reps=3):
+    return {"mean_s": mean_s, "std_s": 0.0, "reps": reps, "metadata": {}}
+
+
+class TestCompareBench:
+    def test_improvement_and_regression_classified(self):
+        old = {"fast": _entry(1.0), "slow": _entry(1.0),
+               "same": _entry(1.0)}
+        new = {"fast": _entry(0.5), "slow": _entry(1.5),
+               "same": _entry(1.05)}
+        cmp = compare_bench(old, new)
+        assert [r.name for r in cmp.improvements] == ["fast"]
+        assert [r.name for r in cmp.regressions] == ["slow"]
+        assert not cmp.ok
+        table = cmp.table()
+        assert "REGRESSED" in table and "improved" in table
+
+    def test_threshold_is_strict(self):
+        old = {"a": _entry(1.0)}
+        exactly = compare_bench(old, {"a": _entry(1.20)})
+        assert exactly.ok  # +20.0% is not > 20%
+        over = compare_bench(old, {"a": _entry(1.21)})
+        assert not over.ok
+
+    def test_missing_benchmarks_reported_not_failed(self):
+        old = {"kept": _entry(1.0), "dropped": _entry(1.0)}
+        new = {"kept": _entry(1.0), "added": _entry(1.0)}
+        cmp = compare_bench(old, new)
+        assert cmp.missing_in_new == ("dropped",)
+        assert cmp.only_in_new == ("added",)
+        assert cmp.ok
+        table = cmp.table()
+        assert "missing from new run" in table
+        assert "new benchmark (no baseline)" in table
+
+    def test_row_metrics(self):
+        cmp = compare_bench({"a": _entry(2.0)}, {"a": _entry(1.0)})
+        (row,) = cmp.rows
+        assert row.delta == -0.5
+        assert row.speedup == 2.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_bench({"a": _entry(1.0)}, {"a": _entry(1.0)},
+                          threshold=0.0)
+
+    def test_load_bench_file_validates(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"a": _entry(1.0)}))
+        assert "a" in load_bench_file(good)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"a": {"no_mean": 1}}))
+        with pytest.raises(ValueError, match="mean_s"):
+            load_bench_file(bad)
+        nondict = tmp_path / "nondict.json"
+        nondict.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_bench_file(nondict)
+
+
+class TestCompareCLI:
+    def _run_compare(self, tmp_path, capsys, old_mean):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps({"pod_basis": _entry(old_mean),
+                                   "retired_bench": _entry(1.0)}))
+        code = main(["bench", "--quick", "--reps", "1", "--filter",
+                     "pod_basis", "--workers", "0",
+                     "--out", str(tmp_path / "new.json"),
+                     "--compare", str(old)])
+        return code, capsys.readouterr().out
+
+    def test_improvement_exits_zero(self, tmp_path, capsys):
+        code, out = self._run_compare(tmp_path, capsys, old_mean=1e6)
+        assert code == 0
+        assert "improved" in out
+        assert "missing from new run" in out  # retired_bench
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        code, out = self._run_compare(tmp_path, capsys, old_mean=1e-9)
+        assert code == 1
+        assert "REGRESSED" in out

@@ -1,0 +1,169 @@
+"""Unit tests of the evaluation backends (repro.hpc.parallel).
+
+The differential serial-equivalence suite lives in
+tests/test_parallel_equivalence.py and fault injection in
+tests/test_parallel_faults.py; here: protocol mechanics, the factory,
+speculative-ask feeding, pool observability, and PacedEvaluator.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.hpc import (
+    ParallelEvaluator,
+    SerialEvaluator,
+    evaluation_backend,
+)
+from repro.hpc.parallel import TaskFeed
+from repro.nas import (
+    AgingEvolution,
+    ArchitecturePerformanceModel,
+    PacedEvaluator,
+    RandomSearch,
+    SurrogateEvaluator,
+)
+from repro.utils.rng import child_sequence, spawn_sequences
+
+
+def _surrogate(space):
+    return SurrogateEvaluator(space, ArchitecturePerformanceModel(space,
+                                                                  seed=0))
+
+
+def _tasks(space, n):
+    rng = np.random.default_rng(0)
+    return ([space.random_architecture(rng) for _ in range(n)],
+            spawn_sequences(1, n))
+
+
+class TestSerialEvaluator:
+    def test_matches_direct_evaluation(self, small_space):
+        evaluator = _surrogate(small_space)
+        backend = SerialEvaluator(evaluator)
+        archs, seeds = _tasks(small_space, 4)
+        handles = [backend.submit(a, s) for a, s in zip(archs, seeds)]
+        results = [backend.gather(h) for h in handles]
+        expected = [_surrogate(small_space).evaluate(
+            a, np.random.default_rng(np.random.SeedSequence(
+                entropy=s.entropy, spawn_key=s.spawn_key)))
+            for a, s in zip(archs, seeds)]
+        assert [r.reward for r in results] == [e.reward for e in expected]
+        assert [r.duration for r in results] == \
+            [e.duration for e in expected]
+
+    def test_gather_order_is_free(self, small_space):
+        backend = SerialEvaluator(_surrogate(small_space))
+        archs, seeds = _tasks(small_space, 3)
+        handles = [backend.submit(a, s) for a, s in zip(archs, seeds)]
+        out_of_order = {h: backend.gather(h) for h in reversed(handles)}
+        fresh = SerialEvaluator(_surrogate(small_space))
+        in_order = {h: fresh.gather(h) for h in
+                    [fresh.submit(a, s) for a, s in zip(archs, seeds)]}
+        assert {h: r.reward for h, r in out_of_order.items()} == \
+            {h: r.reward for h, r in in_order.items()}
+
+
+class TestParallelEvaluator:
+    def test_out_of_order_gather(self, small_space):
+        archs, seeds = _tasks(small_space, 6)
+        with ParallelEvaluator(_surrogate(small_space),
+                               n_workers=2) as backend:
+            handles = [backend.submit(a, s) for a, s in zip(archs, seeds)]
+            pooled = [backend.gather(h) for h in reversed(handles)]
+        serial = SerialEvaluator(_surrogate(small_space))
+        expected = [serial.gather(h) for h in reversed(
+            [serial.submit(a, s) for a, s in zip(archs, seeds)])]
+        assert [r.reward for r in pooled] == [e.reward for e in expected]
+
+    def test_invalid_parameters(self, small_space):
+        evaluator = _surrogate(small_space)
+        with pytest.raises(ValueError, match="n_workers"):
+            ParallelEvaluator(evaluator, n_workers=0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            ParallelEvaluator(evaluator, n_workers=1, task_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ParallelEvaluator(evaluator, n_workers=1, max_retries=-1)
+
+    def test_pool_metrics_recorded(self, small_space):
+        obs.enable()
+        archs, seeds = _tasks(small_space, 4)
+        with ParallelEvaluator(_surrogate(small_space),
+                               n_workers=2) as backend:
+            for h in [backend.submit(a, s) for a, s in zip(archs, seeds)]:
+                backend.gather(h)
+        counters = obs.get_registry().counters
+        assert counters["parallel/tasks_dispatched"].value == 4
+        assert counters["parallel/tasks_completed"].value == 4
+        assert counters["parallel/pickle_bytes_out"].value > 0
+        assert counters["parallel/pickle_bytes_in"].value > 0
+        gauges = obs.get_registry().gauges
+        assert 0.0 <= gauges["parallel/worker_utilization"].last <= 1.0
+
+    def test_capacity_scales_with_workers(self, small_space):
+        evaluator = _surrogate(small_space)
+        with ParallelEvaluator(evaluator, n_workers=3) as backend:
+            assert backend.capacity == 6
+        assert SerialEvaluator(evaluator).capacity == 1
+
+
+class TestEvaluationBackendFactory:
+    def test_workers_mapping(self, small_space):
+        evaluator = _surrogate(small_space)
+        assert evaluation_backend(evaluator, None) is None
+        serial = evaluation_backend(evaluator, 0)
+        assert isinstance(serial, SerialEvaluator)
+        pool = evaluation_backend(evaluator, 2)
+        assert isinstance(pool, ParallelEvaluator)
+        assert pool.n_workers == 2
+        pool.close()
+
+
+class TestTaskFeed:
+    def test_speculative_algorithms_fill_the_pool(self, small_space):
+        backend = SerialEvaluator(_surrogate(small_space))
+        rs = RandomSearch(small_space, rng=0)
+        assert rs.speculative_ask
+        feed = TaskFeed(rs, backend, np.random.SeedSequence(3))
+        assert feed.depth == backend.capacity
+
+    def test_feedback_algorithms_run_at_depth_one(self, small_space):
+        backend = SerialEvaluator(_surrogate(small_space))
+        ae = AgingEvolution(small_space, rng=0, population_size=4,
+                            sample_size=2)
+        assert not ae.speculative_ask
+        feed = TaskFeed(ae, backend, np.random.SeedSequence(3))
+        assert feed.depth == 1
+
+    def test_task_seeds_follow_child_sequence(self, small_space):
+        backend = SerialEvaluator(_surrogate(small_space))
+        root = np.random.SeedSequence(3)
+        feed = TaskFeed(RandomSearch(small_space, rng=0), backend, root)
+        seqs = [feed.next_sequence() for _ in range(3)]
+        assert [s.spawn_key for s in seqs] == \
+            [child_sequence(root, k).spawn_key for k in range(3)]
+
+
+class TestPacedEvaluator:
+    def test_results_are_bitwise_those_of_the_inner(self, small_space):
+        inner = _surrogate(small_space)
+        paced = PacedEvaluator(_surrogate(small_space), pace_seconds=0.0)
+        arch = small_space.random_architecture(np.random.default_rng(0))
+        a = inner.evaluate(arch, np.random.default_rng(1))
+        b = paced.evaluate(arch, np.random.default_rng(1))
+        assert (a.reward, a.duration) == (b.reward, b.duration)
+
+    def test_pace_is_paid_in_wall_clock(self, small_space):
+        paced = PacedEvaluator(_surrogate(small_space), pace_seconds=0.05)
+        arch = small_space.random_architecture(np.random.default_rng(0))
+        start = time.perf_counter()
+        paced.evaluate(arch, np.random.default_rng(1))
+        assert time.perf_counter() - start >= 0.05
+
+    def test_negative_pace_rejected(self, small_space):
+        with pytest.raises(ValueError, match="pace_seconds"):
+            PacedEvaluator(_surrogate(small_space), pace_seconds=-0.1)
