@@ -9,7 +9,9 @@ Covers the four cost centres of the reproduction (ISSUE: the paths every
   clipping, Adam);
 * POD basis computation (method of snapshots) at archive-like shape;
 * a 10-evaluation random-search slice over the surrogate (ask /
-  evaluate / tell machinery, the NAS outer loop).
+  evaluate / tell machinery, the NAS outer loop);
+* a checkpoint save+load round-trip of a warm search (the per-write
+  cost of campaign checkpointing, docs/CHECKPOINTING.md).
 
 Every benchmark is seeded and self-contained: ``make()`` builds all data
 so only steady-state compute is timed. The ``quick`` suite is sized to
@@ -150,6 +152,43 @@ def _random_search_benchmark() -> Benchmark:
                               "full 5-layer space"})
 
 
+def _checkpoint_roundtrip_benchmark() -> Benchmark:
+    """Save + load of a warm aging-evolution search (docs/CHECKPOINTING.md)
+    — the fixed cost every periodic campaign checkpoint pays, so it must
+    stay cheap relative to the evaluations it snapshots between."""
+    n_warm = 200
+
+    def make():
+        import tempfile
+        from pathlib import Path
+
+        from repro.nas import AgingEvolution, StackedLSTMSpace, \
+            SurrogateEvaluator, load_search, save_search
+        from repro.nas.space.ops import default_operations
+        space = StackedLSTMSpace(n_layers=5, input_dim=5, output_dim=5,
+                                 operations=default_operations())
+        evaluator = SurrogateEvaluator(space)
+        search = AgingEvolution(space, rng=0)
+        rng = np.random.default_rng(1)
+        for _ in range(n_warm):
+            arch = search.ask()
+            search.tell(arch, evaluator.evaluate(arch, rng).reward)
+        tmpdir = tempfile.mkdtemp(prefix="repro_bench_ckpt_")
+        path = Path(tmpdir) / "search.json"
+
+        def run():
+            save_search(search, path)
+            load_search(path, space)
+        return run
+
+    return Benchmark(
+        name="checkpoint_roundtrip",
+        make=make,
+        metadata={"n_warm_evaluations": n_warm,
+                  "measures": "atomic JSON save + exact-RNG load of a "
+                              "warm AgingEvolution search"})
+
+
 #: Pool sizes of the serial-vs-pool throughput benchmarks.
 _PARALLEL_WORKER_COUNTS = (1, 2, 4)
 
@@ -220,7 +259,7 @@ def _parallel_search_benchmark(workers: int | None,
 
 def default_suite(quick: bool = True, *,
                   max_workers: int = 4) -> list[Benchmark]:
-    """The BENCH_core.json suite (12 benchmarks quick, 15 full).
+    """The BENCH_core.json suite (13 benchmarks quick, 16 full).
 
     ``max_workers`` caps the pool sizes of the serial-vs-pool throughput
     benchmarks (``repro bench --workers``); 0 drops them entirely.
@@ -230,6 +269,7 @@ def default_suite(quick: bool = True, *,
     suite.append(_trainer_epoch_benchmark(quick))
     suite.append(_pod_basis_benchmark(quick))
     suite.append(_random_search_benchmark())
+    suite.append(_checkpoint_roundtrip_benchmark())
     if max_workers > 0:
         suite.append(_parallel_search_benchmark(None, quick))
         suite.extend(_parallel_search_benchmark(w, quick)

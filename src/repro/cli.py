@@ -160,17 +160,40 @@ def search_main(argv: list[str]) -> int:
     parser.add_argument("--obs", action="store_true",
                         help="enable observability and print its summary "
                              "(includes the parallel/* pool metrics)")
+    parser.add_argument("--walltime", type=float, default=None, metavar="S",
+                        help="simulated allocation budget for THIS "
+                             "invocation; the campaign stops (checkpoint "
+                             "it with --checkpoint) once the clock "
+                             "advances this far, even if --wall remains")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="write a resumable campaign checkpoint "
+                             "(atomically) at walltime expiry / completion")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="S", dest="checkpoint_every",
+                        help="also checkpoint every S simulated seconds "
+                             "(requires --checkpoint)")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="continue a campaign from a checkpoint file; "
+                             "--algorithm/--nodes/--wall/--agents are "
+                             "taken from the file (pass the original "
+                             "--seed so the surrogate matches)")
     args = parser.parse_args(argv)
     if args.nodes < 1:
         parser.error(f"--nodes must be >= 1, got {args.nodes}")
     if args.wall <= 0:
         parser.error(f"--wall must be positive, got {args.wall}")
+    if args.walltime is not None and args.walltime <= 0:
+        parser.error(f"--walltime must be positive, got {args.walltime}")
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        parser.error("--checkpoint-every requires --checkpoint")
 
     from repro import obs
-    from repro.hpc import ThetaPartition, rl_node_allocation, run_search
+    from repro.hpc import ThetaPartition, rl_node_allocation, \
+        resume_search, run_search
     from repro.nas import (
         AgingEvolution,
         ArchitecturePerformanceModel,
+        CheckpointPolicy,
         DistributedRL,
         RandomSearch,
         SurrogateEvaluator,
@@ -182,25 +205,40 @@ def search_main(argv: list[str]) -> int:
                              operations=default_operations())
     evaluator = SurrogateEvaluator(
         space, ArchitecturePerformanceModel(space, seed=args.seed))
-    if args.algorithm == "ae":
-        algorithm = AgingEvolution(space, rng=args.seed)
-    elif args.algorithm == "rs":
-        algorithm = RandomSearch(space, rng=args.seed)
-    else:
-        alloc = rl_node_allocation(args.nodes, args.agents)
-        algorithm = DistributedRL(space, rng=args.seed,
-                                  n_agents=args.agents,
-                                  workers_per_agent=alloc.workers_per_agent)
-    partition = ThetaPartition(n_nodes=args.nodes, wall_seconds=args.wall)
+    checkpoint = None
+    if args.checkpoint is not None:
+        checkpoint = CheckpointPolicy(args.checkpoint,
+                                      every_seconds=args.checkpoint_every)
     if args.obs:
         obs.enable()
-    mode = "in-loop" if args.workers is None else (
-        "serial backend" if args.workers == 0
-        else f"{args.workers}-worker pool")
-    print(f"search: {args.algorithm} on {args.nodes} simulated nodes, "
-          f"{args.wall:g}s simulated wall, evaluation: {mode}")
-    tracker = run_search(algorithm, evaluator, partition, rng=args.seed,
-                         workers=args.workers)
+
+    if args.resume is not None:
+        print(f"resuming campaign from {args.resume}")
+        algorithm, tracker = resume_search(
+            args.resume, space, evaluator, workers=args.workers,
+            walltime=args.walltime, checkpoint=checkpoint)
+    else:
+        if args.algorithm == "ae":
+            algorithm = AgingEvolution(space, rng=args.seed)
+        elif args.algorithm == "rs":
+            algorithm = RandomSearch(space, rng=args.seed)
+        else:
+            alloc = rl_node_allocation(args.nodes, args.agents)
+            algorithm = DistributedRL(
+                space, rng=args.seed, n_agents=args.agents,
+                workers_per_agent=alloc.workers_per_agent)
+        partition = ThetaPartition(n_nodes=args.nodes,
+                                   wall_seconds=args.wall)
+        mode = "in-loop" if args.workers is None else (
+            "serial backend" if args.workers == 0
+            else f"{args.workers}-worker pool")
+        print(f"search: {args.algorithm} on {args.nodes} simulated nodes, "
+              f"{args.wall:g}s simulated wall, evaluation: {mode}")
+        tracker = run_search(algorithm, evaluator, partition,
+                             rng=args.seed, workers=args.workers,
+                             walltime=args.walltime, checkpoint=checkpoint)
+    if args.checkpoint is not None:
+        print(f"checkpoint written to {args.checkpoint}")
     print(f"evaluations completed: {tracker.n_evaluations}")
     print(f"failures:              {tracker.n_failures}")
     print(f"node utilization:      {tracker.node_utilization():.3f}")

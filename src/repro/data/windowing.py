@@ -121,12 +121,21 @@ def make_windowed_examples(coefficients: np.ndarray, window: int,
 def train_validation_split(examples: WindowedExamples,
                            *, train_fraction: float = 0.8,
                            rng=None) -> tuple[WindowedExamples, WindowedExamples]:
-    """Random 80/20 split of examples (paper Sec. II-B)."""
+    """Random 80/20 split of examples (paper Sec. II-B).
+
+    Both sides are guaranteed non-empty, so ``n_examples`` must be at
+    least 2 — with one example the old clamping silently produced an
+    empty training set.
+    """
     if not 0.0 < train_fraction < 1.0:
         raise ValueError(
             f"train_fraction must be in (0, 1), got {train_fraction}")
     gen = as_generator(rng)
     n = examples.n_examples
+    if n < 2:
+        raise ValueError(
+            f"need at least 2 examples to split into non-empty train and "
+            f"validation sets, got {n}")
     perm = gen.permutation(n)
     n_train = max(1, int(round(train_fraction * n)))
     n_train = min(n_train, n - 1)

@@ -28,6 +28,7 @@ from repro.hpc.parallel import (
     evaluation_backend,
 )
 from repro.hpc.executor import (
+    resume_search,
     run_asynchronous_search,
     run_synchronous_rl_search,
     run_search,
@@ -47,4 +48,5 @@ __all__ = [
     "run_asynchronous_search",
     "run_synchronous_rl_search",
     "run_search",
+    "resume_search",
 ]

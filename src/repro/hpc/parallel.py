@@ -502,6 +502,43 @@ class TaskFeed:
         arch, handle = self._inflight.popleft()
         return arch, self.backend.gather(handle)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (docs/CHECKPOINTING.md)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the feed's sequencing position.
+
+        Backend handles are process-local and cannot be persisted; what
+        *is* persisted is the pair that makes them reproducible — the
+        task counter and the architectures still in flight. Because task
+        ``k`` always receives seed stream ``(root, k)``, re-submitting
+        the in-flight architectures after a restore yields bitwise the
+        same results the lost handles would have.
+        """
+        return {"n_issued": self._n_issued,
+                "inflight": [list(arch) for arch, _ in self._inflight]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Re-create in-flight work captured by :meth:`state_dict`.
+
+        Must be called on a fresh feed (same algorithm/backend/task root):
+        rewinds the counter to before the in-flight proposals, then
+        re-submits each with its original task stream. The restored
+        algorithm's RNG already sits *past* these asks, so they are not
+        re-asked — only re-dispatched.
+        """
+        if self._n_issued or self._inflight:
+            raise RuntimeError("can only restore into a fresh TaskFeed")
+        inflight = state["inflight"]
+        self._n_issued = int(state["n_issued"]) - len(inflight)
+        if self._n_issued < 0:
+            raise ValueError("corrupt feed state: more in-flight tasks "
+                             "than issued sequences")
+        for arch in inflight:
+            arch = tuple(arch)
+            handle = self.backend.submit(arch, self.next_sequence())
+            self._inflight.append((arch, handle))
+
 
 def evaluation_backend(evaluator: Evaluator, workers: int | None,
                        **kwargs) -> EvaluationBackend | None:

@@ -50,6 +50,36 @@ class SearchTracker:
     def record_evaluation(self, record: EvaluationRecord) -> None:
         self.records.append(record)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (docs/CHECKPOINTING.md)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot: records, busy transitions, failures."""
+        return {
+            "n_nodes": self.n_nodes,
+            "wall_seconds": self.wall_seconds,
+            "n_failures": self.n_failures,
+            "records": [[list(r.architecture), r.reward, r.start_time,
+                         r.end_time, r.node, r.n_parameters]
+                        for r in self.records],
+            "busy_events": [[t, delta] for t, delta in self._busy_events],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SearchTracker":
+        """Rebuild the tracker captured by :meth:`state_dict`."""
+        tracker = cls(n_nodes=int(state["n_nodes"]),
+                      wall_seconds=float(state["wall_seconds"]),
+                      n_failures=int(state["n_failures"]))
+        for arch, reward, start, end, node, n_params in state["records"]:
+            tracker.records.append(EvaluationRecord(
+                architecture=tuple(arch), reward=float(reward),
+                start_time=float(start), end_time=float(end),
+                node=int(node), n_parameters=int(n_params)))
+        tracker._busy_events = [(float(t), int(delta))
+                                for t, delta in state["busy_events"]]
+        return tracker
+
     def node_busy(self, t: float) -> None:
         """A node transitioned idle -> busy at simulated time ``t``."""
         self._busy_events.append((t, +1))

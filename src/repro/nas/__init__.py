@@ -27,7 +27,14 @@ from repro.nas.evaluation import (
     SurrogateEvaluator,
 )
 from repro.nas.surrogate import ArchitecturePerformanceModel
-from repro.nas.checkpoint import load_search, restore_search, save_search, search_state
+from repro.nas.checkpoint import (
+    CheckpointPolicy,
+    load_checkpoint,
+    load_search,
+    restore_search,
+    save_search,
+    search_state,
+)
 
 __all__ = [
     "Architecture",
@@ -48,4 +55,6 @@ __all__ = [
     "save_search",
     "restore_search",
     "load_search",
+    "load_checkpoint",
+    "CheckpointPolicy",
 ]

@@ -88,6 +88,19 @@ class AgingEvolution(SearchAlgorithm):
             del self.population[worst]
             self.population.append((arch, reward))
 
+    def _state_extra(self) -> dict:
+        return {"population_size": self.population_size,
+                "sample_size": self.sample_size,
+                "aging": self.aging,
+                "population": [[list(arch), float(reward)]
+                               for arch, reward in self.population]}
+
+    def _load_extra(self, state: dict) -> None:
+        self.population.clear()
+        for arch, reward in state["population"]:
+            self.population.append((self.space.validate(arch),
+                                    float(reward)))
+
     @property
     def population_rewards(self) -> list[float]:
         """Rewards of current population members, oldest first."""

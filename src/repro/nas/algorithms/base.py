@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from repro import obs
 from repro.nas.space.search_space import Architecture, StackedLSTMSpace
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, generator_from_state, \
+    generator_state
 
 __all__ = ["SearchAlgorithm"]
 
@@ -55,6 +56,55 @@ class SearchAlgorithm:
             self.best_architecture = tuple(arch)
         with obs.scope("nas/tell"):
             self._observe(tuple(arch), float(reward))
+
+    # -- checkpointing ------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the complete search state.
+
+        Includes the exact RNG bit-stream position, so a search restored
+        via :meth:`load_state_dict` proposes the *identical* continuation
+        an uninterrupted run would have — the contract the campaign
+        checkpoints (:mod:`repro.nas.checkpoint`) build on. ``best_reward``
+        of a never-told search is ``-inf``, which is not valid JSON; it is
+        stored as ``None``.
+        """
+        return {
+            "algorithm": type(self).__name__,
+            "n_asked": self.n_asked,
+            "n_told": self.n_told,
+            "best_reward": (None if self.best_reward == -float("inf")
+                            else float(self.best_reward)),
+            "best_architecture": (list(self.best_architecture)
+                                  if self.best_architecture is not None
+                                  else None),
+            "rng": generator_state(self.rng),
+            **self._state_extra(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the snapshot produced by :meth:`state_dict` in place."""
+        name = state.get("algorithm")
+        if name != type(self).__name__:
+            raise ValueError(
+                f"state is for {name!r}, not {type(self).__name__}")
+        self.n_asked = int(state["n_asked"])
+        self.n_told = int(state["n_told"])
+        reward = state["best_reward"]
+        self.best_reward = -float("inf") if reward is None else float(reward)
+        self.best_architecture = None
+        if state["best_architecture"] is not None:
+            self.best_architecture = self.space.validate(
+                state["best_architecture"])
+        if state.get("rng") is not None:
+            self.rng = generator_from_state(state["rng"])
+        self._load_extra(state)
+
+    def _state_extra(self) -> dict:
+        """Algorithm-specific state merged into :meth:`state_dict`."""
+        return {}
+
+    def _load_extra(self, state: dict) -> None:
+        """Restore what :meth:`_state_extra` captured."""
 
     # -- hooks for subclasses ----------------------------------------------
     def _propose(self) -> Architecture:

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nas.space.search_space import Architecture, StackedLSTMSpace
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, generator_from_state, \
+    generator_state
 
 __all__ = ["PPOConfig", "PPOAgent"]
 
@@ -175,6 +176,29 @@ class PPOAgent:
         for _ in range(self.config.update_epochs):
             grads, vgrad = self.compute_gradients(archs, rewards, old_logp)
             self.apply_gradients(grads, vgrad)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot: policy logits, the value baseline
+        (the agent's entire optimizer state — updates are plain SGD with
+        no momentum buffers), and the exact RNG position."""
+        return {"logits": [logit.tolist() for logit in self.logits],
+                "value_baseline": float(self.value_baseline),
+                "rng": generator_state(self.rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the snapshot produced by :meth:`state_dict`."""
+        logits = state["logits"]
+        if len(logits) != len(self.logits):
+            raise ValueError(
+                f"state has {len(logits)} logit vectors, policy has "
+                f"{len(self.logits)}")
+        self.logits = [np.asarray(logit, dtype=np.float64)
+                       for logit in logits]
+        self.value_baseline = float(state["value_baseline"])
+        self.rng = generator_from_state(state["rng"])
 
     def policy_entropy(self) -> float:
         """Mean per-node entropy — an exploration diagnostic."""

@@ -28,3 +28,7 @@ class RandomSearch(SearchAlgorithm):
     def _observe(self, arch: Architecture, reward: float) -> None:
         # Feedback-free by definition; the base class already tracks the best.
         pass
+
+    # Checkpointing: the base class already captures everything random
+    # search owns (counters, best record, exact RNG position) — the
+    # sample stream continues bit-for-bit on resume.

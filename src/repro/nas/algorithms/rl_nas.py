@@ -15,6 +15,8 @@ all evaluations of the round completed.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 
 from repro.nas.algorithms.base import SearchAlgorithm
@@ -127,3 +129,23 @@ class DistributedRL(SearchAlgorithm):
 
     def mean_policy_entropy(self) -> float:
         return float(np.mean([a.policy_entropy() for a in self.agents]))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _state_extra(self) -> dict:
+        return {"n_agents": self.n_agents,
+                "workers_per_agent": self.workers_per_agent,
+                "round_index": self.round_index,
+                "config": asdict(self.agents[0].config),
+                "agents": [agent.state_dict() for agent in self.agents]}
+
+    def _load_extra(self, state: dict) -> None:
+        agents = state["agents"]
+        if len(agents) != self.n_agents:
+            raise ValueError(
+                f"state has {len(agents)} agents, algorithm has "
+                f"{self.n_agents}")
+        self.round_index = int(state["round_index"])
+        for agent, agent_state in zip(self.agents, agents):
+            agent.load_state_dict(agent_state)

@@ -25,6 +25,22 @@ from repro.nn.model import Network
 
 __all__ = ["save_network", "load_network", "layer_config"]
 
+
+def _npz_path(path) -> Path:
+    """The path the archive actually lives at.
+
+    ``np.savez`` silently appends ``.npz`` when the name lacks it, so a
+    round-trip through the *same* user-supplied path used to fail:
+    ``save_network(net, "model")`` wrote ``model.npz`` while
+    ``load_network("model")`` looked for ``model``. Both sides now
+    normalize to the suffixed name, so whatever path ``save_network``
+    accepted, ``load_network`` accepts too.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
 _LAYER_CLASSES = {cls.__name__: cls for cls in
                   (DenseLayer, LSTMLayer, GRULayer, SimpleRNNLayer,
                    AddLayer, ActivationLayer, IdentityLayer)}
@@ -59,13 +75,13 @@ def save_network(network: Network, path) -> None:
               "output": network.output_name,
               "nodes": nodes}
     arrays = {f"w{i}": w for i, w in enumerate(network.get_weights())}
-    np.savez(Path(path), __spec__=np.frombuffer(
+    np.savez(_npz_path(path), __spec__=np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
 
 
 def load_network(path) -> Network:
     """Rebuild a network saved by :func:`save_network`."""
-    with np.load(Path(path)) as archive:
+    with np.load(_npz_path(path)) as archive:
         header = json.loads(bytes(archive["__spec__"].tobytes()).decode("utf-8"))
         if header.get("format") != "repro-network-v1":
             raise ValueError(f"{path}: not a repro network archive")

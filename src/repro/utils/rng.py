@@ -21,7 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["as_generator", "spawn", "as_seed_sequence", "child_sequence",
-           "spawn_sequences"]
+           "spawn_sequences", "generator_state", "generator_from_state",
+           "sequence_state", "sequence_from_state"]
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -89,3 +90,77 @@ def spawn_sequences(
         raise ValueError(f"n must be non-negative, got {n}")
     root = as_seed_sequence(seed)
     return [child_sequence(root, i) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Exact state capture (checkpoint/restart, docs/CHECKPOINTING.md)
+# ---------------------------------------------------------------------------
+# Bit-generator states hold integers wider than 2**53 (PCG64 carries two
+# 128-bit words), which survive Python's json but not every external JSON
+# reader — so checkpoint encoding stringifies every int and decoding
+# reverses it. Arrays (MT19937's key vector) become plain lists, which the
+# numpy state setters accept back directly.
+
+def _encode_state(value):
+    if isinstance(value, dict):
+        return {k: _encode_state(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return [_encode_state(v) for v in value.tolist()]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    return value
+
+
+def _decode_state(value):
+    if isinstance(value, dict):
+        return {k: _decode_state(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_state(v) for v in value]
+    if isinstance(value, str) and (value.isdigit()
+                                   or (value[:1] == "-" and value[1:].isdigit())):
+        return int(value)
+    return value
+
+
+def generator_state(gen: np.random.Generator) -> dict:
+    """JSON-compatible snapshot of a generator's exact bit-stream position.
+
+    Restoring with :func:`generator_from_state` continues the *identical*
+    stream of draws — not a reseed. This is the primitive behind the
+    checkpoint/resume bitwise-equivalence guarantee.
+    """
+    return _encode_state(gen.bit_generator.state)
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Rebuild the generator captured by :func:`generator_state`."""
+    decoded = _decode_state(state)
+    name = decoded.get("bit_generator")
+    cls = getattr(np.random, str(name), None)
+    if cls is None or not isinstance(cls, type) or \
+            not issubclass(cls, np.random.BitGenerator):
+        raise ValueError(f"unknown bit generator {name!r} in RNG state")
+    bit_generator = cls()
+    bit_generator.state = decoded
+    return np.random.Generator(bit_generator)
+
+
+def sequence_state(seq: np.random.SeedSequence) -> dict:
+    """JSON-compatible identity of a :class:`~numpy.random.SeedSequence`.
+
+    Only ``entropy`` and ``spawn_key`` are kept — together they *are* the
+    stream's identity for :func:`child_sequence` derivation (the hidden
+    spawn counter is deliberately dropped; checkpointed code derives
+    children by explicit index, never by ``spawn``).
+    """
+    return {"entropy": _encode_state(seq.entropy),
+            "spawn_key": [str(int(k)) for k in seq.spawn_key]}
+
+
+def sequence_from_state(state: dict) -> np.random.SeedSequence:
+    """Rebuild the sequence captured by :func:`sequence_state`."""
+    entropy = _decode_state(state["entropy"])
+    spawn_key = tuple(int(k) for k in state["spawn_key"])
+    return np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)

@@ -59,3 +59,31 @@ class TestSearchCLI:
         with pytest.raises(SystemExit):
             main(["--help"])
         assert "search" in capsys.readouterr().out
+
+
+class TestCampaignCLI:
+    def test_walltime_resume_matches_single_run(self, capsys, tmp_path):
+        """The user-facing campaign promise: a run split by --walltime
+        and finished with --resume prints the outcome of one full run."""
+        keep = ("evaluations completed:", "best reward:",
+                "best architecture:", "node utilization:")
+        pick = lambda text: [ln for ln in text.splitlines()
+                             if ln.startswith(keep)]
+        _, full = _search(capsys, "--algorithm", "ae")
+        ckpt = str(tmp_path / "campaign.json")
+        code, out = _search(capsys, "--algorithm", "ae",
+                            "--walltime", "250", "--checkpoint", ckpt,
+                            "--checkpoint-every", "100")
+        assert code == 0
+        assert "checkpoint written" in out
+        code = main(["search", "--resume", ckpt, "--seed", "0"])
+        resumed = capsys.readouterr().out
+        assert code == 0
+        assert "resuming campaign" in resumed
+        assert pick(resumed) == pick(full)
+
+    def test_campaign_flags_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["search", "--walltime", "-1"])
+        with pytest.raises(SystemExit):
+            main(["search", "--checkpoint-every", "60"])  # no --checkpoint

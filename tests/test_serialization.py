@@ -67,6 +67,28 @@ class TestNetworkSerialization:
         with pytest.raises(ValueError, match="not a repro network"):
             load_network(bad)
 
+    def test_roundtrip_path_without_npz_suffix(self, tmp_path, rng):
+        """Regression: np.savez silently appends .npz, so saving to
+        'model' then loading 'model' raised FileNotFoundError. Both
+        sides now accept the exact path the user passed."""
+        net = build_manual_lstm(8, 2, input_dim=3, output_dim=3, rng=0)
+        path = tmp_path / "model"  # no suffix, as a user might pass
+        save_network(net, path)
+        assert (tmp_path / "model.npz").exists()
+        loaded = load_network(path)  # the very path save accepted
+        x = rng.standard_normal((2, 5, 3))
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x),
+                                   atol=1e-14)
+
+    def test_roundtrip_other_suffix(self, tmp_path, rng):
+        net = build_manual_lstm(8, 2, input_dim=3, output_dim=3, rng=0)
+        path = tmp_path / "model.ckpt"
+        save_network(net, path)
+        loaded = load_network(path)
+        x = rng.standard_normal((2, 5, 3))
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x),
+                                   atol=1e-14)
+
 
 class TestEmulatorSerialization:
     @pytest.fixture()

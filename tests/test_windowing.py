@@ -136,6 +136,20 @@ class TestTrainValidationSplit:
         with pytest.raises(ValueError):
             train_validation_split(ex, train_fraction=1.0)
 
+    def test_single_example_rejected(self):
+        """Regression: n_examples == 1 used to return an *empty* train
+        set silently; it must raise a clear error instead."""
+        ex = make_windowed_examples(_ramp_series(n_time=8), window=4)
+        assert ex.n_examples == 1
+        with pytest.raises(ValueError, match="at least 2 examples"):
+            train_validation_split(ex, rng=0)
+
+    def test_two_examples_split_one_one(self):
+        ex = make_windowed_examples(_ramp_series(n_time=9), window=4)
+        assert ex.n_examples == 2
+        tr, va = train_validation_split(ex, rng=0)
+        assert tr.n_examples == 1 and va.n_examples == 1
+
 
 class TestWindowingProperties:
     @settings(max_examples=25, deadline=None)
