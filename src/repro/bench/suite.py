@@ -11,7 +11,10 @@ Covers the four cost centres of the reproduction (ISSUE: the paths every
 * a 10-evaluation random-search slice over the surrogate (ask /
   evaluate / tell machinery, the NAS outer loop);
 * a checkpoint save+load round-trip of a warm search (the per-write
-  cost of campaign checkpointing, docs/CHECKPOINTING.md).
+  cost of campaign checkpointing, docs/CHECKPOINTING.md);
+* the inference serving hot path (docs/SERVING.md): draining queued
+  requests through the micro-batching engine at ``max_batch`` 1 vs 8,
+  and closed-loop load-generator throughput at 4 clients.
 
 Every benchmark is seeded and self-contained: ``make()`` builds all data
 so only steady-state compute is timed. The ``quick`` suite is sized to
@@ -257,9 +260,87 @@ def _parallel_search_benchmark(workers: int | None,
                               "backend (serial vs process pool)"})
 
 
+def _serve_emulator():
+    """A forecast-ready emulator for the serving benchmarks: pipeline
+    fitted on a low-rank synthetic archive, network assembled untrained
+    (inference cost is weight-independent)."""
+    from repro.baselines.manual_lstm import build_manual_lstm
+    from repro.forecast import PODCoefficientPipeline, PODLSTMEmulator
+    rng = np.random.default_rng(0)
+    n_state, n_snapshots = 400, 80
+    base = rng.standard_normal((n_state, 8))
+    snapshots = base @ rng.standard_normal((8, n_snapshots)) \
+        + 0.05 * rng.standard_normal((n_state, n_snapshots))
+    pipeline = PODCoefficientPipeline(n_modes=5, window=8)
+    pipeline.fit(snapshots)
+    network = build_manual_lstm(32, 1, input_dim=5, output_dim=5, rng=0)
+    return PODLSTMEmulator.from_artifacts(pipeline, network)
+
+
+def _serve_latency_benchmark(max_batch: int) -> Benchmark:
+    """64 requests submitted at once through the engine, waited to
+    completion — max_batch=1 is the no-coalescing reference, max_batch=8
+    shows what micro-batching buys (cache off: compute, not lookups)."""
+    n_requests = 64
+
+    def make():
+        from repro.serve import ForecastEngine
+        emulator = _serve_emulator()
+        rng = np.random.default_rng(1)
+        windows = rng.uniform(-1.0, 1.0, size=(n_requests, 8, 5))
+        engine = ForecastEngine(emulator, version=f"bench-b{max_batch}",
+                                max_batch=max_batch, max_queue=n_requests,
+                                cache_entries=0).start()
+
+        def run():
+            pendings = [engine.submit(w) for w in windows]
+            for pending in pendings:
+                pending.result(timeout=30.0)
+        return run
+
+    return Benchmark(
+        name=f"serve_latency_b{max_batch}",
+        make=make,
+        metadata={"n_requests": n_requests, "max_batch": max_batch,
+                  "cache": "off",
+                  "measures": "drain 64 queued forecast requests through "
+                              "the micro-batching engine (batch-invariant "
+                              "kernels)"})
+
+
+def _serve_throughput_benchmark() -> Benchmark:
+    """Closed-loop load-generator throughput at 4 clients — the
+    ``serve_throughput`` SLO trajectory entry of BENCH_core.json."""
+    clients, requests_per_client = 4, 16
+
+    def make():
+        from repro.serve import ForecastEngine, run_loadgen
+        emulator = _serve_emulator()
+        rng = np.random.default_rng(2)
+        windows = rng.uniform(
+            -1.0, 1.0, size=(clients * requests_per_client, 8, 5))
+        engine = ForecastEngine(emulator, version="bench-loadgen",
+                                cache_entries=0).start()
+
+        def run():
+            run_loadgen(engine, windows, clients=clients,
+                        requests_per_client=requests_per_client)
+        return run
+
+    return Benchmark(
+        name="serve_throughput",
+        make=make,
+        metadata={"clients": clients,
+                  "requests_per_client": requests_per_client,
+                  "cache": "off",
+                  "measures": "closed-loop load generation against the "
+                              "engine (threads, queueing, batching, SLO "
+                              "aggregation)"})
+
+
 def default_suite(quick: bool = True, *,
                   max_workers: int = 4) -> list[Benchmark]:
-    """The BENCH_core.json suite (13 benchmarks quick, 16 full).
+    """The BENCH_core.json suite (16 benchmarks quick, 19 full).
 
     ``max_workers`` caps the pool sizes of the serial-vs-pool throughput
     benchmarks (``repro bench --workers``); 0 drops them entirely.
@@ -274,4 +355,7 @@ def default_suite(quick: bool = True, *,
         suite.append(_parallel_search_benchmark(None, quick))
         suite.extend(_parallel_search_benchmark(w, quick)
                      for w in _PARALLEL_WORKER_COUNTS if w <= max_workers)
+    suite.append(_serve_latency_benchmark(1))
+    suite.append(_serve_latency_benchmark(8))
+    suite.append(_serve_throughput_benchmark())
     return suite

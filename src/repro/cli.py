@@ -11,6 +11,8 @@ Usage::
     python -m repro bench --quick --compare OLD.json   # perf gate
     python -m repro bench --obs --jsonl run.obs.jsonl
     python -m repro search --algorithm rs --workers 4  # pooled search
+    python -m repro serve --registry reg --train-demo v1
+    python -m repro serve --registry reg --loadgen --report slo.json
 """
 
 from __future__ import annotations
@@ -251,6 +253,142 @@ def search_main(argv: list[str]) -> int:
     return 0
 
 
+def _train_demo_emulator(seed: int):
+    """Tiny synthetic emulator for the serve demo / smoke paths: coarse
+    grid, short archive, two epochs — trains in seconds."""
+    from repro.baselines.manual_lstm import build_manual_lstm
+    from repro.data import LatLonGrid, SSTDataset, WeeklyCalendar
+    from repro.data.sst import SyntheticSST
+    from repro.forecast import PODLSTMEmulator
+    from repro.nn.training import Trainer
+
+    dataset = SSTDataset(
+        generator=SyntheticSST(grid=LatLonGrid(degrees=12.0), seed=seed),
+        calendar=WeeklyCalendar(n_snapshots=140))
+    snapshots = dataset.training_snapshots()
+    emulator = PODLSTMEmulator(n_modes=4, window=6,
+                               trainer=Trainer(epochs=2, batch_size=32))
+    network = build_manual_lstm(16, 1, input_dim=4, output_dim=4, rng=seed)
+    emulator.fit(snapshots, network=network, rng=seed)
+    return emulator
+
+
+def serve_main(argv: list[str]) -> int:
+    """``repro serve`` — manage an emulator bundle registry and run the
+    micro-batching forecast engine under a load test."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Inference serving: publish emulator bundles to a "
+                    "model registry, promote versions, and drive the "
+                    "micro-batching forecast engine with a closed-loop "
+                    "load generator (see docs/SERVING.md).")
+    parser.add_argument("--registry", default="serve-registry",
+                        metavar="DIR",
+                        help="model registry directory "
+                             "(default: serve-registry)")
+    parser.add_argument("--train-demo", default=None, metavar="NAME",
+                        dest="train_demo",
+                        help="train a tiny synthetic demo emulator, "
+                             "publish it as NAME and promote it to active")
+    parser.add_argument("--promote", default=None, metavar="NAME",
+                        help="atomically point ACTIVE at an existing "
+                             "version")
+    parser.add_argument("--status", action="store_true",
+                        help="list registry versions and the active "
+                             "pointer")
+    parser.add_argument("--loadgen", action="store_true",
+                        help="serve the selected version through the "
+                             "engine and run the closed-loop load "
+                             "generator; prints the SLO report")
+    parser.add_argument("--version", default=None, metavar="NAME",
+                        help="version to serve (default: the active one)")
+    parser.add_argument("--clients", type=int, default=4, metavar="N",
+                        help="concurrent closed-loop clients (default: 4)")
+    parser.add_argument("--requests", type=int, default=50, metavar="N",
+                        help="requests per client (default: 50)")
+    parser.add_argument("--max-batch", type=int, default=8, metavar="N",
+                        dest="max_batch",
+                        help="most requests coalesced per forward pass "
+                             "(default: 8)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="with --loadgen: write the SLO report JSON "
+                             "here")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="seed of the demo training data and the "
+                             "load-generator request pool (default: 0)")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable observability and print its summary "
+                             "(includes the serve/* metrics)")
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error(f"--clients must be >= 1, got {args.clients}")
+    if args.requests < 1:
+        parser.error(f"--requests must be >= 1, got {args.requests}")
+    if args.max_batch < 1:
+        parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
+
+    import numpy as np
+
+    from repro import obs
+    from repro.serve import ForecastEngine, ModelRegistry, run_loadgen
+
+    if args.obs:
+        obs.enable()
+    registry = ModelRegistry(args.registry)
+
+    acted = False
+    if args.train_demo is not None:
+        print(f"training demo emulator (seed {args.seed})...")
+        emulator = _train_demo_emulator(args.seed)
+        path = registry.publish(args.train_demo, emulator,
+                                metadata={"source": "serve --train-demo",
+                                          "seed": args.seed},
+                                activate=True)
+        print(f"published and promoted {args.train_demo!r} -> {path}")
+        acted = True
+    if args.promote is not None:
+        registry.promote(args.promote)
+        print(f"promoted {args.promote!r} to active")
+        acted = True
+
+    if args.status or not (acted or args.loadgen):
+        versions = registry.versions()
+        active = registry.active()
+        print(f"registry {registry.root}")
+        if not versions:
+            print("  (no versions published)")
+        for name in versions:
+            marker = " *active*" if name == active else ""
+            print(f"  {name}{marker}")
+        acted = True
+
+    if args.loadgen:
+        name, emulator = registry.load(args.version)
+        window = emulator.pipeline.window
+        n_modes = emulator.pipeline.n_modes
+        # Request pool in scaled coefficient space; smaller than the run
+        # so repeats exercise the response cache.
+        pool_size = max(1, min(args.clients * args.requests, 128))
+        rng = np.random.default_rng(args.seed)
+        windows = rng.uniform(-1.0, 1.0, size=(pool_size, window, n_modes))
+        print(f"serving version {name!r} (window={window}, "
+              f"n_modes={n_modes}), load: {args.clients} clients x "
+              f"{args.requests} requests, max_batch={args.max_batch}")
+        with ForecastEngine(emulator, version=name,
+                            max_batch=args.max_batch) as engine:
+            report = run_loadgen(engine, windows, clients=args.clients,
+                                 requests_per_client=args.requests)
+        print(report.table())
+        if args.report is not None:
+            report.dump(args.report)
+            print(f"wrote {args.report}")
+
+    if args.obs:
+        print()
+        print(obs.summary())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -258,6 +396,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "search":
         return search_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the SC 2020 POD-LSTM "
@@ -265,12 +405,15 @@ def main(argv: list[str] | None = None) -> int:
         epilog="Additional subcommands: 'repro bench' runs the core "
                "microbenchmark suite and writes BENCH_core.json; "
                "'repro search' runs one NAS search, optionally on a "
-               "process pool via --workers (see their --help).")
+               "process pool via --workers; 'repro serve' publishes "
+               "emulator bundles and load-tests the micro-batching "
+               "forecast engine (see their --help).")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list",
-                                                       "bench", "search"],
-                        help="experiment id, 'all', 'list', 'bench', or "
-                             "'search'")
+                                                       "bench", "search",
+                                                       "serve"],
+                        help="experiment id, 'all', 'list', 'bench', "
+                             "'search', or 'serve'")
     parser.add_argument("--preset", choices=("quick", "full"),
                         default="quick",
                         help="training/search budgets (default: quick)")

@@ -4,6 +4,13 @@ the trained network (structure + weights).
 A saved emulator forecasts identically after a round trip — the archive
 carries everything ``PODLSTMEmulator`` needs at inference time (training
 state such as the epoch history is not persisted).
+
+This is the plain single-file checkpoint; the *serving* artifact with a
+schema version, metadata and registry integration is
+:mod:`repro.serve.bundle`. Both delegate to the same state capture
+(:meth:`PODCoefficientPipeline.fitted_state`,
+:func:`~repro.nn.serialization.network_spec`), so the formats differ
+only in envelope, never in fidelity.
 """
 
 from __future__ import annotations
@@ -15,71 +22,33 @@ import numpy as np
 
 from repro.forecast.pipeline import PODCoefficientPipeline
 from repro.forecast.pod_lstm import PODLSTMEmulator
-from repro.forecast.scaling import MinMaxScaler, StandardScaler
-from repro.nn.serialization import layer_config
-from repro.pod.basis import PODBasis
-from repro.pod.snapshots import SnapshotStats
+from repro.nn.serialization import network_from_spec, network_spec
 
 __all__ = ["save_emulator", "load_emulator"]
 
-_SCALERS = {"MinMaxScaler": MinMaxScaler, "StandardScaler": StandardScaler}
+_FORMAT = "repro-emulator-v1"
 
-
-def _scaler_state(scaler) -> tuple[dict, dict[str, np.ndarray]]:
-    if isinstance(scaler, MinMaxScaler):
-        if scaler.center_ is None:
-            raise ValueError("cannot save an unfitted emulator")
-        return ({"class": "MinMaxScaler", "limit": scaler.limit},
-                {"scaler_center": scaler.center_,
-                 "scaler_halfrange": scaler.halfrange_})
-    if isinstance(scaler, StandardScaler):
-        if scaler.mean_ is None:
-            raise ValueError("cannot save an unfitted emulator")
-        return ({"class": "StandardScaler"},
-                {"scaler_mean": scaler.mean_,
-                 "scaler_scale": scaler.scale_})
-    raise TypeError(f"cannot serialize scaler {type(scaler).__name__}")
-
-
-def _restore_scaler(header: dict, archive) -> MinMaxScaler | StandardScaler:
-    cls_name = header["class"]
-    if cls_name == "MinMaxScaler":
-        scaler = MinMaxScaler(limit=header["limit"])
-        scaler.center_ = archive["scaler_center"]
-        scaler.halfrange_ = archive["scaler_halfrange"]
-        return scaler
-    if cls_name == "StandardScaler":
-        scaler = StandardScaler()
-        scaler.mean_ = archive["scaler_mean"]
-        scaler.scale_ = archive["scaler_scale"]
-        return scaler
-    raise ValueError(f"unknown scaler class {cls_name!r}")
+#: fitted_state() array name -> legacy archive name (scaler arrays match).
+_BASIS_KEYS = {"pod_modes": "basis_modes", "pod_energies": "basis_energies",
+               "pod_mean": "basis_mean"}
 
 
 def save_emulator(emulator: PODLSTMEmulator, path) -> None:
     """Persist a fitted emulator to ``path`` (.npz)."""
     network = emulator.network
-    basis = emulator.pipeline.basis
-    if network is None or basis is None:
+    if network is None:
         raise ValueError("cannot save an unfitted emulator")
-    nodes = []
-    for name in network.topological_order:
-        spec = network._specs[name]
-        nodes.append({"name": name, "class": type(spec.layer).__name__,
-                      "config": layer_config(spec.layer),
-                      "inputs": list(spec.inputs)})
-    scaler_header, scaler_arrays = _scaler_state(emulator.pipeline.scaler)
-    header = {"format": "repro-emulator-v1",
-              "n_modes": emulator.pipeline.n_modes,
-              "window": emulator.pipeline.window,
-              "scaler": scaler_header,
-              "network": {"input_dim": network.input_dim,
-                          "output": network.output_name,
-                          "nodes": nodes}}
-    arrays = {"basis_modes": basis.modes,
-              "basis_energies": basis.energies,
-              "basis_mean": basis.stats.mean,
-              **scaler_arrays}
+    try:
+        config, state = emulator.pipeline.fitted_state()
+    except RuntimeError:
+        raise ValueError("cannot save an unfitted emulator") from None
+    header = {"format": _FORMAT,
+              "n_modes": config["n_modes"],
+              "window": config["window"],
+              "scaler": config["scaler"],
+              "network": network_spec(network)}
+    arrays = {_BASIS_KEYS.get(name, name): value
+              for name, value in state.items()}
     arrays.update({f"w{i}": w for i, w in enumerate(network.get_weights())})
     np.savez(Path(path), __spec__=np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
@@ -88,34 +57,20 @@ def save_emulator(emulator: PODLSTMEmulator, path) -> None:
 def load_emulator(path) -> PODLSTMEmulator:
     """Rebuild an emulator saved by :func:`save_emulator` (forecast-ready;
     no training history)."""
-    from repro.nn.serialization import _LAYER_CLASSES
-    from repro.nn.model import Network
-
     with np.load(Path(path)) as archive:
-        header = json.loads(bytes(archive["__spec__"].tobytes()).decode("utf-8"))
-        if header.get("format") != "repro-emulator-v1":
+        header = json.loads(
+            bytes(archive["__spec__"].tobytes()).decode("utf-8"))
+        if header.get("format") != _FORMAT:
             raise ValueError(f"{path}: not a repro emulator archive")
-        basis = PODBasis(modes=archive["basis_modes"],
-                         energies=archive["basis_energies"],
-                         stats=SnapshotStats(mean=archive["basis_mean"]))
-        scaler = _restore_scaler(header["scaler"], archive)
-        net_header = header["network"]
-        n_weights = sum(1 for f in archive.files if f.startswith("w")
-                        and f[1:].isdigit())
+        state = {new: archive[old] for new, old in _BASIS_KEYS.items()}
+        state.update({name: archive[name] for name in archive.files
+                      if name.startswith("scaler_")})
+        pipeline = PODCoefficientPipeline.from_fitted_state(
+            {"n_modes": header["n_modes"], "window": header["window"],
+             "scaler": header["scaler"]}, state)
+        n_weights = sum(1 for f in archive.files
+                        if f.startswith("w") and f[1:].isdigit())
         weights = [archive[f"w{i}"] for i in range(n_weights)]
-
-    network = Network(input_dim=int(net_header["input_dim"]), rng=0)
-    for node in net_header["nodes"]:
-        cls = _LAYER_CLASSES[node["class"]]
-        network.add_node(node["name"], cls(**node["config"]),
-                         node["inputs"])
-    network.set_output(net_header["output"])
-    network.set_weights(weights)
-
-    emulator = PODLSTMEmulator(n_modes=header["n_modes"],
-                               window=header["window"])
-    emulator.pipeline = PODCoefficientPipeline(
-        n_modes=header["n_modes"], window=header["window"], scaler=scaler)
-    emulator.pipeline.basis = basis
-    emulator.network = network
-    return emulator
+    network = network_from_spec(header["network"], weights,
+                                source=f"emulator archive {path}")
+    return PODLSTMEmulator.from_artifacts(pipeline, network)

@@ -12,10 +12,48 @@ import numpy as np
 
 from repro.data.windowing import WindowedExamples, make_windowed_examples
 from repro.pod import PODBasis, fit_pod, project_coefficients, reconstruct
-from repro.forecast.scaling import MinMaxScaler
+from repro.pod.snapshots import SnapshotStats
+from repro.forecast.scaling import MinMaxScaler, StandardScaler
 from repro.utils.validation import check_matrix, check_positive_int
 
 __all__ = ["PODCoefficientPipeline"]
+
+
+def _scaler_state(scaler) -> tuple[dict, dict[str, np.ndarray]]:
+    """(JSON config, named arrays) of a fitted scaler."""
+    if isinstance(scaler, MinMaxScaler):
+        if scaler.center_ is None:
+            raise RuntimeError("scaler captured before fit")
+        return ({"class": "MinMaxScaler", "limit": scaler.limit},
+                {"scaler_center": scaler.center_,
+                 "scaler_halfrange": scaler.halfrange_})
+    if isinstance(scaler, StandardScaler):
+        if scaler.mean_ is None:
+            raise RuntimeError("scaler captured before fit")
+        return ({"class": "StandardScaler"},
+                {"scaler_mean": scaler.mean_, "scaler_scale": scaler.scale_})
+    raise TypeError(f"cannot capture scaler type {type(scaler).__name__}; "
+                    "expected MinMaxScaler or StandardScaler")
+
+
+def _scaler_from_state(config: dict, arrays) -> object:
+    """Rebuild a fitted scaler from :func:`_scaler_state` output."""
+    kind = config.get("class")
+    if kind == "MinMaxScaler":
+        scaler = MinMaxScaler(limit=float(config["limit"]))
+        scaler.center_ = np.asarray(arrays["scaler_center"],
+                                    dtype=np.float64).copy()
+        scaler.halfrange_ = np.asarray(arrays["scaler_halfrange"],
+                                       dtype=np.float64).copy()
+        return scaler
+    if kind == "StandardScaler":
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(arrays["scaler_mean"],
+                                  dtype=np.float64).copy()
+        scaler.scale_ = np.asarray(arrays["scaler_scale"],
+                                   dtype=np.float64).copy()
+        return scaler
+    raise ValueError(f"unknown scaler class {kind!r}")
 
 
 class PODCoefficientPipeline:
@@ -90,3 +128,43 @@ class PODCoefficientPipeline:
     def energy_fraction(self) -> float:
         """Variance captured by the retained modes (paper: ~0.92)."""
         return self._require_fit().energy_fraction()
+
+    # ------------------------------------------------------------------
+    # Fitted-state capture (the substrate of repro.serve bundles)
+    # ------------------------------------------------------------------
+    def fitted_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The complete fitted state as ``(config, arrays)``.
+
+        ``config`` is JSON-compatible geometry plus the scaler class and
+        its scalar parameters; ``arrays`` holds the POD basis (modes,
+        energies, removed mean) and the scaler's fitted vectors. Together
+        they reconstruct the pipeline **exactly** — every transform /
+        inverse / window of the restored pipeline is bitwise identical
+        (round-trip tested in tests/test_forecast_pipeline.py).
+        """
+        basis = self._require_fit()
+        scaler_config, scaler_arrays = _scaler_state(self.scaler)
+        config = {"n_modes": self.n_modes, "window": self.window,
+                  "scaler": scaler_config}
+        arrays = {"pod_modes": basis.modes, "pod_energies": basis.energies,
+                  "pod_mean": basis.stats.mean, **scaler_arrays}
+        return config, arrays
+
+    @classmethod
+    def from_fitted_state(cls, config: dict,
+                          arrays) -> "PODCoefficientPipeline":
+        """Rebuild a fitted pipeline from :meth:`fitted_state` output.
+
+        ``arrays`` is any mapping of the array names to arrays (a dict or
+        an open ``npz`` archive).
+        """
+        pipeline = cls(n_modes=int(config["n_modes"]),
+                       window=int(config["window"]),
+                       scaler=_scaler_from_state(config["scaler"], arrays))
+        modes = np.asarray(arrays["pod_modes"], dtype=np.float64).copy()
+        energies = np.asarray(arrays["pod_energies"],
+                              dtype=np.float64).copy()
+        mean = np.asarray(arrays["pod_mean"], dtype=np.float64).copy()
+        pipeline.basis = PODBasis(modes=modes, energies=energies,
+                                  stats=SnapshotStats(mean=mean))
+        return pipeline

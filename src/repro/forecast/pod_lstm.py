@@ -82,6 +82,30 @@ class PODLSTMEmulator:
                                         val.inputs, val.outputs, rng=gen)
         return self.history
 
+    @classmethod
+    def from_artifacts(cls, pipeline: PODCoefficientPipeline,
+                       network: Network, *,
+                       trainer: Trainer | None = None,
+                       train_fraction: float = 0.8) -> "PODLSTMEmulator":
+        """Assemble a ready-to-forecast emulator from restored parts.
+
+        The deserialization entry point of :mod:`repro.serve.bundle`:
+        ``pipeline`` must already be fitted and ``network`` trained. The
+        result forecasts and scores exactly like the emulator the parts
+        came from; ``history`` is ``None`` (training curves are not part
+        of a bundle).
+        """
+        pipeline._require_fit()
+        if network.input_dim != pipeline.n_modes:
+            raise ValueError(
+                f"network input_dim {network.input_dim} != n_modes "
+                f"{pipeline.n_modes}")
+        emulator = cls(n_modes=pipeline.n_modes, window=pipeline.window,
+                       trainer=trainer, train_fraction=train_fraction)
+        emulator.pipeline = pipeline
+        emulator.network = network
+        return emulator
+
     def _require_fit(self) -> Network:
         if self.network is None:
             raise RuntimeError("emulator used before fit")

@@ -17,7 +17,10 @@ from repro.nn.metrics import r2_score, rmse
 from repro.nn.model import Network, NodeSpec
 from repro.nn.optimizers import SGD, Adam
 from repro.nn.training import History, Trainer
-from repro.nn.serialization import load_network, save_network
+from repro.nn.detmath import (batch_invariant, batch_invariant_enabled,
+                              recurrent_matmul)
+from repro.nn.serialization import (load_network, network_from_spec,
+                                    network_spec, save_network)
 
 __all__ = [
     "Identity", "ReLU", "Sigmoid", "Tanh", "get_activation",
@@ -29,5 +32,6 @@ __all__ = [
     "Network", "NodeSpec",
     "SGD", "Adam",
     "History", "Trainer",
-    "save_network", "load_network",
+    "save_network", "load_network", "network_spec", "network_from_spec",
+    "batch_invariant", "batch_invariant_enabled", "recurrent_matmul",
 ]

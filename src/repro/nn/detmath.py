@@ -1,0 +1,71 @@
+"""Batch-invariant inference arithmetic (the serving determinism contract).
+
+NumPy dispatches a 2-D matmul with a single left-hand row to a GEMV
+kernel and larger ones to GEMM, and OpenBLAS additionally picks different
+blocking by the M dimension — so the bits of row ``i`` of ``H @ W``
+depend on how many other rows happened to share the call. That is fatal
+for :mod:`repro.serve`: a micro-batching engine coalesces concurrent
+forecast requests into one stacked forward, and its contract
+(docs/SERVING.md) is that a response is **bitwise identical** to the
+one-request-at-a-time answer regardless of which requests it was batched
+with.
+
+:func:`recurrent_matmul` restores invariance on demand. Inside a
+:func:`batch_invariant` context it computes ``a @ w`` through the 3-D
+gufunc path ``(a[:, None, :] @ w)[:, 0, :]``: NumPy then evaluates each
+row as an independent ``(1, K) @ (K, N)`` product with the *same* kernel
+a genuine batch-of-one call uses, so every row's bits are independent of
+the batch it rides in (verified by the differential suite in
+tests/test_serve_engine.py). Outside the context it is a plain ``@`` —
+training and the existing evaluation paths are untouched, numerically
+and in cost.
+
+The flag is **thread-local**: an engine worker thread can serve in
+batch-invariant mode while other threads train or score normally.
+
+Only matmuls whose M dimension is the example batch need the treatment —
+in this codebase, the recurrent ``h_{t-1} @ Wh`` products of the LSTM /
+GRU / SimpleRNN cells. Input projections (``x @ Wx``) and dense layers
+contract 3-D operands, which NumPy already evaluates per example, and
+every other op is elementwise.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["batch_invariant", "batch_invariant_enabled", "recurrent_matmul"]
+
+_LOCAL = threading.local()
+
+
+def batch_invariant_enabled() -> bool:
+    """Whether the calling thread is inside a :func:`batch_invariant`."""
+    return getattr(_LOCAL, "enabled", False)
+
+
+@contextmanager
+def batch_invariant():
+    """Make :func:`recurrent_matmul` row-independent on this thread."""
+    previous = batch_invariant_enabled()
+    _LOCAL.enabled = True
+    try:
+        yield
+    finally:
+        _LOCAL.enabled = previous
+
+
+def recurrent_matmul(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``a @ w`` for a 2-D ``(B, K)`` left operand whose rows are
+    independent examples.
+
+    Identical to ``a @ w`` unless the calling thread is inside
+    :func:`batch_invariant`, in which case each row is computed by the
+    batch-of-one kernel so the result's bits do not depend on ``B``.
+    """
+    if not getattr(_LOCAL, "enabled", False):
+        return a @ w
+    return (a[:, None, :] @ w)[:, 0, :]

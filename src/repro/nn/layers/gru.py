@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import obs
 from repro.nn.activations import dsigmoid_from_y, dtanh_from_y, sigmoid
+from repro.nn.detmath import recurrent_matmul
 from repro.nn.initializers import glorot_uniform, orthogonal
 from repro.nn.layers.base import Layer
 from repro.utils.rng import as_generator
@@ -64,10 +65,11 @@ class GRULayer(Layer):
         obs.counter_add("nn/gemms", 1 + 2 * steps)
         h_prev = np.zeros((batch, h))
         for t in range(steps):
-            rec = h_prev @ wh                       # (B, 3H)
+            rec = recurrent_matmul(h_prev, wh)      # (B, 3H)
             z = sigmoid(x_proj[:, t, :h] + rec[:, :h])
             r = sigmoid(x_proj[:, t, h:2 * h] + rec[:, h:2 * h])
-            g = np.tanh(x_proj[:, t, 2 * h:] + (r * h_prev) @ wh[:, 2 * h:])
+            g = np.tanh(x_proj[:, t, 2 * h:]
+                        + recurrent_matmul(r * h_prev, wh[:, 2 * h:]))
             h_t = z * h_prev + (1.0 - z) * g
             gates[t, :, :h] = z
             gates[t, :, h:2 * h] = r

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.nn.activations import dsigmoid_from_y, dtanh_from_y, sigmoid
+from repro.nn.detmath import recurrent_matmul
 from repro.nn.initializers import glorot_uniform, orthogonal
 from repro.nn.layers.base import Layer
 from repro.utils.rng import as_generator
@@ -75,7 +76,7 @@ class LSTMLayer(Layer):
         h_prev = np.zeros((batch, h))
         c_prev = np.zeros((batch, h))
         for t in range(steps):
-            z = x_proj[:, t, :] + h_prev @ wh
+            z = x_proj[:, t, :] + recurrent_matmul(h_prev, wh)
             i = sigmoid(z[:, :h])
             f = sigmoid(z[:, h:2 * h])
             g = np.tanh(z[:, 2 * h:3 * h])

@@ -10,6 +10,7 @@ import numpy as np
 
 from repro import obs
 from repro.nn.activations import dtanh_from_y
+from repro.nn.detmath import recurrent_matmul
 from repro.nn.initializers import glorot_uniform, orthogonal
 from repro.nn.layers.base import Layer
 from repro.utils.rng import as_generator
@@ -50,7 +51,7 @@ class SimpleRNNLayer(Layer):
         obs.counter_add("nn/gemms", 1 + steps)
         h_prev = np.zeros((batch, self.units))
         for t in range(steps):
-            h_prev = np.tanh(x_proj[:, t, :] + h_prev @ wh)
+            h_prev = np.tanh(x_proj[:, t, :] + recurrent_matmul(h_prev, wh))
             hs[t] = h_prev
         self._cache = (x, hs)
         return np.ascontiguousarray(hs.transpose(1, 0, 2))

@@ -162,8 +162,18 @@ class Network:
 
     def predict(self, x: np.ndarray, batch_size: int | None = None
                 ) -> np.ndarray:
-        """Inference, optionally chunked to bound peak memory."""
+        """Inference, optionally chunked to bound peak memory.
+
+        A ``batch_size`` that does not divide the input runs a smaller
+        final chunk; results are concatenated in order."""
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim >= 1 and x.shape[0] == 0:
+            raise ValueError(
+                "cannot run inference on an empty batch: input has 0 "
+                "examples (shape {})".format(x.shape))
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {batch_size}")
         if batch_size is None or x.shape[0] <= batch_size:
             return self.forward(x, training=False)
         chunks = [self.forward(x[s:s + batch_size], training=False)

@@ -23,7 +23,8 @@ from repro.nn.layers import (
 )
 from repro.nn.model import Network
 
-__all__ = ["save_network", "load_network", "layer_config"]
+__all__ = ["save_network", "load_network", "layer_config",
+           "network_spec", "network_from_spec"]
 
 
 def _npz_path(path) -> Path:
@@ -59,10 +60,15 @@ def layer_config(layer) -> dict:
     raise TypeError(f"cannot serialize layer type {type(layer).__name__}")
 
 
-def save_network(network: Network, path) -> None:
-    """Write the network's structure and weights to ``path`` (.npz)."""
+def network_spec(network: Network) -> dict:
+    """JSON-compatible structural description of a network (no weights).
+
+    The shared vocabulary of :func:`save_network` archives and the
+    emulator bundles of :mod:`repro.serve.bundle` — both store this spec
+    next to the weight arrays returned by ``network.get_weights()``.
+    """
     if network.output_name is None:
-        raise ValueError("cannot save an empty network")
+        raise ValueError("cannot serialize an empty network")
     nodes = []
     for name in network.topological_order:
         spec = network._specs[name]
@@ -70,10 +76,35 @@ def save_network(network: Network, path) -> None:
                       "class": type(spec.layer).__name__,
                       "config": layer_config(spec.layer),
                       "inputs": list(spec.inputs)})
-    header = {"format": "repro-network-v1",
-              "input_dim": network.input_dim,
-              "output": network.output_name,
-              "nodes": nodes}
+    return {"input_dim": network.input_dim,
+            "output": network.output_name,
+            "nodes": nodes}
+
+
+def network_from_spec(spec: dict, weights: list[np.ndarray], *,
+                      source: str = "network spec") -> Network:
+    """Rebuild a network from :func:`network_spec` output plus weights.
+
+    ``source`` labels error messages with where the spec came from (a
+    file path, a bundle name).
+    """
+    network = Network(input_dim=int(spec["input_dim"]), rng=0)
+    for node in spec["nodes"]:
+        try:
+            cls = _LAYER_CLASSES[node["class"]]
+        except KeyError:
+            raise ValueError(f"unknown layer class {node['class']!r} "
+                             f"in {source}") from None
+        network.add_node(node["name"], cls(**node["config"]),
+                         node["inputs"])
+    network.set_output(spec["output"])
+    network.set_weights(weights)
+    return network
+
+
+def save_network(network: Network, path) -> None:
+    """Write the network's structure and weights to ``path`` (.npz)."""
+    header = {"format": "repro-network-v1", **network_spec(network)}
     arrays = {f"w{i}": w for i, w in enumerate(network.get_weights())}
     np.savez(_npz_path(path), __spec__=np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
@@ -87,15 +118,4 @@ def load_network(path) -> Network:
             raise ValueError(f"{path}: not a repro network archive")
         weights = [archive[f"w{i}"]
                    for i in range(len(archive.files) - 1)]
-    network = Network(input_dim=int(header["input_dim"]), rng=0)
-    for node in header["nodes"]:
-        try:
-            cls = _LAYER_CLASSES[node["class"]]
-        except KeyError:
-            raise ValueError(
-                f"unknown layer class {node['class']!r} in {path}") from None
-        network.add_node(node["name"], cls(**node["config"]),
-                         node["inputs"])
-    network.set_output(header["output"])
-    network.set_weights(weights)
-    return network
+    return network_from_spec(header, weights, source=str(path))

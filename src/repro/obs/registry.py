@@ -17,14 +17,21 @@ Everything is **off by default**: a disabled registry hands out a shared
 no-op scope and drops counter/gauge updates after a single attribute
 check, so instrumented code paths are numerically and behaviourally
 identical to uninstrumented ones (guard-tested in tests/test_obs.py).
-The registry is single-threaded by design — the whole reproduction is a
-single-process NumPy program; enable/disable must not be toggled while
-scopes are open.
+
+Thread safety: the serving engine (:mod:`repro.serve.engine`) updates
+counters and gauges from worker threads, so registry mutations are
+guarded by a lock — concurrent increments never lose updates (regression
+test in tests/test_obs.py). The scope *path* stack is thread-local:
+scopes opened on different threads nest independently and aggregate into
+the shared tables under the same lock. The disabled fast path takes no
+lock. Enable/disable must still not be toggled while scopes are open,
+and ``reset()`` clears only the calling thread's open-scope stack.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass
 
@@ -150,10 +157,11 @@ class _Scope:
         nested = reg._child_time.pop()
         reg._path_parts.pop()
         self.elapsed_s = inclusive
-        stats = reg.scopes.get(self._path)
-        if stats is None:
-            stats = reg.scopes[self._path] = ScopeStats(self._path)
-        stats.record(inclusive, inclusive - nested)
+        with reg._lock:
+            stats = reg.scopes.get(self._path)
+            if stats is None:
+                stats = reg.scopes[self._path] = ScopeStats(self._path)
+            stats.record(inclusive, inclusive - nested)
         if reg._child_time:
             reg._child_time[-1] += inclusive
         return False
@@ -172,8 +180,25 @@ class Registry:
         self.scopes = {}
         self.counters = {}
         self.gauges = {}
-        self._path_parts: list[str] = []
-        self._child_time: list[float] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # Open-scope bookkeeping is per thread: scopes on different threads
+    # nest independently (each engine worker times its own hierarchy)
+    # while the aggregated tables above stay shared.
+    @property
+    def _path_parts(self) -> list:
+        parts = getattr(self._local, "path_parts", None)
+        if parts is None:
+            parts = self._local.path_parts = []
+        return parts
+
+    @property
+    def _child_time(self) -> list:
+        times = getattr(self._local, "child_time", None)
+        if times is None:
+            times = self._local.child_time = []
+        return times
 
     # -- recording -------------------------------------------------------
     def scope(self, name: str):
@@ -185,34 +210,42 @@ class Registry:
     def counter_add(self, name: str, amount: float = 1.0) -> None:
         if not self.enabled:
             return
-        counter = self.counters.get(name)
-        if counter is None:
-            counter = self.counters[name] = Counter(name)
-        counter.add(amount)
+        with self._lock:
+            counter = self.counters.get(name)
+            if counter is None:
+                counter = self.counters[name] = Counter(name)
+            counter.add(amount)
 
     def gauge_set(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        gauge = self.gauges.get(name)
-        if gauge is None:
-            gauge = self.gauges[name] = Gauge(name)
-        gauge.set(value)
+        with self._lock:
+            gauge = self.gauges.get(name)
+            if gauge is None:
+                gauge = self.gauges[name] = Gauge(name)
+            gauge.set(value)
 
     # -- lifecycle -------------------------------------------------------
     def reset(self) -> None:
-        """Drop all recorded data (the enabled flag is left untouched)."""
-        self.scopes.clear()
-        self.counters.clear()
-        self.gauges.clear()
+        """Drop all recorded data (the enabled flag is left untouched).
+
+        Open-scope stacks are thread-local; only the calling thread's
+        stack is cleared — don't reset while other threads hold scopes.
+        """
+        with self._lock:
+            self.scopes.clear()
+            self.counters.clear()
+            self.gauges.clear()
         self._path_parts.clear()
         self._child_time.clear()
 
     # -- export ----------------------------------------------------------
     def as_records(self) -> list[dict]:
         """All recorded data as plain JSON-serializable dicts."""
-        records = [s.as_record() for s in self.scopes.values()]
-        records += [c.as_record() for c in self.counters.values()]
-        records += [g.as_record() for g in self.gauges.values()]
+        with self._lock:
+            records = [s.as_record() for s in self.scopes.values()]
+            records += [c.as_record() for c in self.counters.values()]
+            records += [g.as_record() for g in self.gauges.values()]
         return records
 
     def export_jsonl(self, path_or_file) -> None:

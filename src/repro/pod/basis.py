@@ -31,6 +31,13 @@ __all__ = ["PODBasis", "pod_method_of_snapshots", "pod_svd", "fit_pod"]
 #: numerical noise and excluded from the basis.
 _EIG_RTOL = 1e-12
 
+#: Relative eigenvalue spread beyond which the method-of-snapshots modes
+#: are re-orthonormalized. Forming ``C = S^T S`` squares the conditioning,
+#: so an eigenvector with ``lambda_i <~ 1e-10 * lambda_max`` carries
+#: ``O(eps * lambda_max / lambda_i)`` direction error — enough to break
+#: column orthonormality past 1e-6 after the ``1/sqrt(lambda_i)`` scaling.
+_POLISH_RTOL = 1e-8
+
 
 @dataclass(frozen=True)
 class PODBasis:
@@ -123,6 +130,14 @@ def pod_method_of_snapshots(snapshots: np.ndarray,
         return PODBasis(modes=modes, energies=np.zeros(1), stats=stats)
     scale = 1.0 / np.sqrt(energies[:n_r])
     modes = (centered @ eigvecs[:, :n_r]) * scale[None, :]
+    if energies[n_r - 1] < energies[0] * _POLISH_RTOL:
+        # A QR polish restores orthonormality to machine precision while
+        # preserving the span (R ~ I, so the sign fix keeps each column
+        # aligned with its unpolished direction). Well-separated spectra
+        # never take this path and stay bitwise unchanged.
+        q, r = np.linalg.qr(modes)
+        signs = np.where(np.diag(r) >= 0.0, 1.0, -1.0)
+        modes = q * signs[None, :]
     return PODBasis(modes=np.ascontiguousarray(modes), energies=energies,
                     stats=stats)
 

@@ -1,0 +1,39 @@
+"""repro.serve — the inference serving subsystem (docs/SERVING.md).
+
+Turns a trained :class:`~repro.forecast.pod_lstm.PODLSTMEmulator` — the
+paper's end product, whose whole point is inference orders of magnitude
+cheaper than the process model — into a deployable, versioned service:
+
+* :mod:`repro.serve.bundle` — one ``.npz`` artifact per emulator
+  (network spec + weights + fitted POD/scaler pipeline state);
+* :mod:`repro.serve.registry` — named bundle versions under one
+  directory with an atomically-promoted ``ACTIVE`` pointer;
+* :mod:`repro.serve.engine` — a micro-batching engine coalescing
+  concurrent requests into stacked forward passes, with admission
+  control, per-request timeouts and an LRU response cache, under a
+  bitwise determinism contract;
+* :mod:`repro.serve.loadgen` — a closed-loop load generator producing
+  throughput / p50-p95-p99 SLO reports.
+
+CLI: ``python -m repro.cli serve`` (see ``--help``).
+"""
+
+from repro.serve.bundle import (BUNDLE_FORMAT, BUNDLE_VERSION, load_bundle,
+                                read_bundle_header, save_bundle)
+from repro.serve.cache import ForecastCache, window_digest
+from repro.serve.engine import (EngineConfig, EngineOverloaded,
+                                ForecastEngine, ForecastTimeout)
+from repro.serve.loadgen import (SLO_REPORT_FORMAT, SLO_REPORT_VERSION,
+                                 SLOReport, nearest_rank_percentile,
+                                 run_loadgen, validate_slo_report)
+from repro.serve.registry import ModelRegistry
+
+__all__ = [
+    "BUNDLE_FORMAT", "BUNDLE_VERSION",
+    "save_bundle", "load_bundle", "read_bundle_header",
+    "ModelRegistry",
+    "ForecastCache", "window_digest",
+    "ForecastEngine", "EngineConfig", "EngineOverloaded", "ForecastTimeout",
+    "SLOReport", "run_loadgen", "nearest_rank_percentile",
+    "validate_slo_report", "SLO_REPORT_FORMAT", "SLO_REPORT_VERSION",
+]

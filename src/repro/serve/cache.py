@@ -1,0 +1,90 @@
+"""LRU forecast cache keyed by (bundle version, request window) digest.
+
+Geophysical forecast traffic is heavily repetitive — dashboards poll the
+same lead windows — so the engine consults this cache before queueing a
+request. Keys are SHA-256 digests over the serving version string plus
+the window's shape and raw float64 bytes: two requests collide only if
+they are the same request against the same model, in which case the
+cached response is bitwise identical to a recomputed one by the
+engine's determinism contract (docs/SERVING.md).
+
+Thread-safe: clients probe from their own threads while the engine
+worker inserts. Hit/miss totals feed the ``serve/cache/*`` counters in
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["ForecastCache", "window_digest"]
+
+
+def window_digest(version: str, window: np.ndarray) -> str:
+    """SHA-256 digest identifying one request against one bundle version."""
+    arr = np.ascontiguousarray(window, dtype=np.float64)
+    digest = hashlib.sha256()
+    digest.update(version.encode("utf-8"))
+    digest.update(str(arr.shape).encode("utf-8"))
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+class ForecastCache:
+    """Bounded least-recently-used response cache.
+
+    ``max_entries = 0`` disables caching entirely (every probe is a
+    miss and inserts are dropped) — used by the latency benchmarks so
+    repetitions measure inference, not dictionary lookups.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> np.ndarray | None:
+        """The cached response for ``key`` (a copy), or ``None``."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                obs.counter_add("serve/cache/miss")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            obs.counter_add("serve/cache/hit")
+            return value.copy()
+
+    def put(self, key: str, value: np.ndarray) -> None:
+        """Insert a response, evicting the least recently used entry
+        beyond capacity."""
+        if self.max_entries == 0:
+            return
+        stored = np.asarray(value).copy()
+        with self._lock:
+            self._entries[key] = stored
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "max_entries": self.max_entries,
+                    "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,136 @@
+"""Model registry: named bundle versions with an atomic "active" pointer.
+
+Directory layout (docs/SERVING.md)::
+
+    <root>/
+      versions/
+        <name>.npz        # one emulator bundle per published version
+      ACTIVE              # name of the version serving traffic
+
+Publishing writes the bundle to a temporary sibling first and
+``os.replace``s it into place; promotion rewrites ``ACTIVE`` through the
+same tmp+fsync+rename discipline as :mod:`repro.nas.checkpoint` — a
+crash at any instant leaves the registry pointing at a complete,
+loadable bundle, never a torn file or dangling pointer.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from repro.forecast.pod_lstm import PODLSTMEmulator
+from repro.serve.bundle import load_bundle, read_bundle_header, save_bundle
+
+__all__ = ["ModelRegistry"]
+
+#: Version names are path-safe identifiers: no separators, no hidden
+#: files, no surprises in the directory layout.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_ACTIVE_FILE = "ACTIVE"
+_VERSIONS_DIR = "versions"
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name) \
+            or name.endswith(".npz"):
+        raise ValueError(
+            f"invalid version name {name!r}: use letters, digits, dots, "
+            f"dashes and underscores (no leading dot, no .npz suffix)")
+    return name
+
+
+class ModelRegistry:
+    """A directory of named emulator bundles with one active version.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created (with ``versions/``) on first use.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / _VERSIONS_DIR).mkdir(exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+    def bundle_path(self, name: str) -> Path:
+        """Where version ``name``'s bundle lives (whether or not it
+        exists yet)."""
+        return self.root / _VERSIONS_DIR / f"{_check_name(name)}.npz"
+
+    @property
+    def _active_path(self) -> Path:
+        return self.root / _ACTIVE_FILE
+
+    # -- publishing ------------------------------------------------------
+    def publish(self, name: str, emulator: PODLSTMEmulator, *,
+                metadata: dict | None = None,
+                activate: bool = False) -> Path:
+        """Serialize ``emulator`` as version ``name``.
+
+        The bundle is written to a tmp sibling and atomically renamed in,
+        so readers never observe a partial artifact. Re-publishing an
+        existing name replaces it. ``activate=True`` also promotes the
+        version.
+        """
+        target = self.bundle_path(name)
+        tmp = target.with_name(target.name + ".tmp")
+        written = save_bundle(emulator, tmp, metadata=metadata)
+        os.replace(written, target)
+        if activate:
+            self.promote(name)
+        return target
+
+    def promote(self, name: str) -> None:
+        """Atomically point ``ACTIVE`` at an existing version."""
+        if not self.bundle_path(name).exists():
+            raise ValueError(f"cannot promote unknown version {name!r}; "
+                             f"published versions: {self.versions()}")
+        tmp = self._active_path.with_name(_ACTIVE_FILE + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(name + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._active_path)
+
+    # -- reading ---------------------------------------------------------
+    def versions(self) -> list[str]:
+        """Published version names, sorted."""
+        return sorted(p.stem for p in
+                      (self.root / _VERSIONS_DIR).glob("*.npz"))
+
+    def active(self) -> str | None:
+        """The promoted version name, or ``None`` if nothing is active."""
+        try:
+            name = self._active_path.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            return None
+        return name or None
+
+    def header(self, name: str) -> dict:
+        """The bundle header of a version (provenance inspection)."""
+        return read_bundle_header(self.bundle_path(name))
+
+    def load(self, name: str | None = None
+             ) -> tuple[str, PODLSTMEmulator]:
+        """Load a version (default: the active one) as
+        ``(name, emulator)``."""
+        if name is None:
+            name = self.active()
+            if name is None:
+                raise ValueError(
+                    f"registry {self.root} has no active version "
+                    f"(promote one first)")
+        path = self.bundle_path(name)
+        if not path.exists():
+            raise ValueError(f"unknown version {name!r}; "
+                             f"published versions: {self.versions()}")
+        return name, load_bundle(path)
+
+    def __repr__(self) -> str:
+        return (f"ModelRegistry(root={str(self.root)!r}, "
+                f"versions={self.versions()}, active={self.active()!r})")

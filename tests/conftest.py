@@ -53,6 +53,22 @@ def train_snapshots(tiny_dataset) -> np.ndarray:
 
 
 @pytest.fixture(scope="session")
+def tiny_emulator(generator):
+    """Small fitted POD-LSTM emulator shared by the serving tests.
+
+    Session-scoped and treated as read-only: serving never mutates the
+    emulator, so bundle/registry/engine tests can share one fit.
+    """
+    from repro.forecast import PODLSTMEmulator
+    from repro.nn import Trainer
+    snapshots = generator.snapshots(np.arange(60))
+    emulator = PODLSTMEmulator(n_modes=3, window=4,
+                               trainer=Trainer(epochs=2, batch_size=16))
+    emulator.fit(snapshots, rng=0)
+    return emulator
+
+
+@pytest.fixture(scope="session")
 def split_dataset(generator) -> SSTDataset:
     """480-week archive: crosses the 1990 boundary so test data exists."""
     return SSTDataset(generator=generator,

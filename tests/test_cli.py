@@ -45,3 +45,49 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "best AE-discovered architecture" in out
         assert "layer ops" in out
+
+
+class TestServeCLI:
+    def test_help_documents_serve_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--registry", "--train-demo", "--promote",
+                     "--loadgen", "--report", "--max-batch"):
+            assert flag in out
+
+    def test_train_demo_status_loadgen_round_trip(self, tmp_path,
+                                                  capsys):
+        """The CI serve-smoke sequence: train a tiny demo emulator,
+        publish + promote it, run a short load burst, and check the
+        SLO report file validates against the schema."""
+        import json
+
+        from repro.serve import validate_slo_report
+
+        registry = str(tmp_path / "reg")
+        report = tmp_path / "slo.json"
+        assert main(["serve", "--registry", registry,
+                     "--train-demo", "demo"]) == 0
+        assert main(["serve", "--registry", registry, "--status"]) == 0
+        assert "demo *active*" in capsys.readouterr().out
+        assert main(["serve", "--registry", registry, "--loadgen",
+                     "--clients", "2", "--requests", "6",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        with open(report, encoding="utf-8") as fh:
+            data = json.load(fh)
+        validate_slo_report(data)
+        assert data["n_requests"] == 12
+
+    def test_loadgen_without_active_version_fails(self, tmp_path):
+        with pytest.raises(ValueError, match="no active version"):
+            main(["serve", "--registry", str(tmp_path / "empty"),
+                  "--loadgen"])
+
+    def test_bad_arguments_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--registry", str(tmp_path / "r"),
+                  "--clients", "0", "--loadgen"])

@@ -58,3 +58,64 @@ class TestPipeline:
         b = PODCoefficientPipeline(n_modes=3).fit(train_snapshots)
         np.testing.assert_allclose(a.transform(train_snapshots),
                                    b.transform(train_snapshots))
+
+
+class TestFittedState:
+    """fitted_state()/from_fitted_state() — the bundle serialization
+    contract: a restored pipeline is *exactly* the fitted one."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, train_snapshots):
+        return PODCoefficientPipeline(n_modes=4, window=6).fit(
+            train_snapshots)
+
+    def test_round_trip_exact(self, fitted, train_snapshots):
+        config, arrays = fitted.fitted_state()
+        restored = PODCoefficientPipeline.from_fitted_state(config, arrays)
+        assert restored.n_modes == fitted.n_modes
+        assert restored.window == fitted.window
+        np.testing.assert_array_equal(restored.basis.modes,
+                                      fitted.basis.modes)
+        np.testing.assert_array_equal(restored.basis.energies,
+                                      fitted.basis.energies)
+        np.testing.assert_array_equal(restored.transform(train_snapshots),
+                                      fitted.transform(train_snapshots))
+        windows_a = restored.windows_from_snapshots(train_snapshots)
+        windows_b = fitted.windows_from_snapshots(train_snapshots)
+        np.testing.assert_array_equal(windows_a.inputs, windows_b.inputs)
+
+    def test_inverse_and_reconstruct_exact(self, fitted, train_snapshots):
+        config, arrays = fitted.fitted_state()
+        restored = PODCoefficientPipeline.from_fitted_state(config, arrays)
+        scaled = fitted.transform(train_snapshots)
+        np.testing.assert_array_equal(restored.inverse(scaled),
+                                      fitted.inverse(scaled))
+        np.testing.assert_array_equal(restored.reconstruct(scaled),
+                                      fitted.reconstruct(scaled))
+
+    def test_standard_scaler_round_trip(self, train_snapshots):
+        pipe = PODCoefficientPipeline(n_modes=3, window=4,
+                                      scaler=StandardScaler()).fit(
+            train_snapshots)
+        config, arrays = pipe.fitted_state()
+        assert config["scaler"]["class"] == "StandardScaler"
+        restored = PODCoefficientPipeline.from_fitted_state(config, arrays)
+        assert isinstance(restored.scaler, StandardScaler)
+        np.testing.assert_array_equal(restored.transform(train_snapshots),
+                                      pipe.transform(train_snapshots))
+
+    def test_state_is_decoupled_copy(self, fitted, train_snapshots):
+        config, arrays = fitted.fitted_state()
+        restored = PODCoefficientPipeline.from_fitted_state(config, arrays)
+        restored.basis.modes[:] = 0.0  # mutating the copy...
+        assert fitted.basis.modes.any()  # ...leaves the original intact
+
+    def test_unfit_pipeline_rejected(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            PODCoefficientPipeline().fitted_state()
+
+    def test_unknown_scaler_class_rejected(self, fitted):
+        config, arrays = fitted.fitted_state()
+        config["scaler"] = {"class": "MysteryScaler"}
+        with pytest.raises(ValueError, match="unknown scaler"):
+            PODCoefficientPipeline.from_fitted_state(config, arrays)

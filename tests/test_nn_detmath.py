@@ -1,0 +1,99 @@
+"""Batch-invariant inference kernels (repro.nn.detmath).
+
+The serving determinism contract rests on one property: inside
+``batch_invariant()``, the bits of each example's output do not depend
+on which batch it was computed in. Outside the context everything must
+be plain ``@`` — training numerics untouched.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_manual_lstm
+from repro.nn import (batch_invariant, batch_invariant_enabled,
+                      recurrent_matmul)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRecurrentMatmul:
+    def test_disabled_is_plain_matmul(self, rng):
+        a = rng.standard_normal((5, 8))
+        w = rng.standard_normal((8, 12))
+        np.testing.assert_array_equal(recurrent_matmul(a, w), a @ w)
+        assert not batch_invariant_enabled()
+
+    def test_enabled_rows_match_batch_of_one(self, rng):
+        for batch in (1, 2, 3, 5, 8, 16):
+            a = rng.standard_normal((batch, 16))
+            w = rng.standard_normal((16, 24))
+            singles = np.vstack([a[i:i + 1] @ w for i in range(batch)])
+            with batch_invariant():
+                stacked = recurrent_matmul(a, w)
+            np.testing.assert_array_equal(stacked, singles)
+
+    def test_enabled_close_to_plain(self, rng):
+        a = rng.standard_normal((6, 16))
+        w = rng.standard_normal((16, 8))
+        with batch_invariant():
+            out = recurrent_matmul(a, w)
+        np.testing.assert_allclose(out, a @ w, atol=1e-12)
+
+
+class TestContext:
+    def test_nesting_restores(self):
+        assert not batch_invariant_enabled()
+        with batch_invariant():
+            assert batch_invariant_enabled()
+            with batch_invariant():
+                assert batch_invariant_enabled()
+            assert batch_invariant_enabled()
+        assert not batch_invariant_enabled()
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with batch_invariant():
+                raise RuntimeError("boom")
+        assert not batch_invariant_enabled()
+
+    def test_thread_local(self):
+        observed = {}
+
+        def probe():
+            observed["enabled"] = batch_invariant_enabled()
+
+        with batch_invariant():
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert observed["enabled"] is False
+
+
+class TestNetworkInvariance:
+    """End-to-end: a recurrent network's per-example predictions are
+    batch-size independent under the contract."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_manual_lstm(12, 2, input_dim=4, output_dim=4, rng=0)
+
+    def test_rows_independent_of_batch_size(self, net, rng):
+        x = rng.standard_normal((16, 6, 4))
+        singles = [net.predict(x[i:i + 1])[0] for i in range(16)]
+        for batch in (1, 3, 8, 16):
+            with batch_invariant():
+                out = net.predict(x[:batch])
+            for i in range(batch):
+                assert np.array_equal(out[i], singles[i])
+
+    def test_disabled_predictions_unchanged(self, net, rng):
+        x = rng.standard_normal((8, 6, 4))
+        before = net.predict(x)
+        with batch_invariant():
+            pass  # entering and leaving the context changes nothing
+        np.testing.assert_array_equal(net.predict(x), before)

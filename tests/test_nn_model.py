@@ -95,6 +95,30 @@ class TestExecution:
         np.testing.assert_allclose(net.predict(x, batch_size=3),
                                    net.predict(x), atol=1e-12)
 
+    def test_predict_remainder_batch(self, rng):
+        """A batch_size that does not divide the input runs a smaller
+        final chunk and still returns every example, in order."""
+        net = simple_net()
+        x = rng.standard_normal((7, 4, 3))
+        out = net.predict(x, batch_size=4)  # chunks of 4 and 3
+        assert out.shape == net.predict(x).shape
+        np.testing.assert_allclose(out[4:], net.predict(x[4:]),
+                                   atol=1e-12)
+        np.testing.assert_array_equal(out[:4], net.predict(x[:4]))
+
+    def test_predict_empty_input_rejected(self):
+        net = simple_net()
+        with pytest.raises(ValueError, match="empty batch"):
+            net.predict(np.zeros((0, 4, 3)))
+        with pytest.raises(ValueError, match="0 examples"):
+            net.predict(np.zeros((0, 4, 3)), batch_size=2)
+
+    def test_predict_bad_batch_size_rejected(self, rng):
+        net = simple_net()
+        x = rng.standard_normal((4, 4, 3))
+        with pytest.raises(ValueError, match="batch_size"):
+            net.predict(x, batch_size=0)
+
     def test_dead_branch_ignored_in_backward(self, rng):
         """A node not feeding the output gets no gradient and must not
         break backward."""

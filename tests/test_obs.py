@@ -151,6 +151,61 @@ class TestCountersAndGauges:
         assert not reg.scopes and not reg.counters and not reg.gauges
 
 
+class TestThreadSafety:
+    """Registry mutations under real thread contention (the serving
+    engine updates counters/gauges from worker and client threads)."""
+
+    def test_concurrent_increments_lose_no_updates(self):
+        import threading
+        reg = Registry()
+        reg.enabled = True
+        n_threads, n_increments = 8, 5000
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(n_increments):
+                reg.counter_add("t/counter")
+                reg.gauge_set("t/gauge", 1.0)
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = n_threads * n_increments
+        assert reg.counters["t/counter"].value == expected
+        assert reg.counters["t/counter"].n_updates == expected
+        assert reg.gauges["t/gauge"].n_updates == expected
+
+    def test_scopes_nest_per_thread(self):
+        import threading
+        reg = Registry()
+        reg.enabled = True
+        n_threads, n_calls = 4, 50
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(n_calls):
+                with reg.scope("outer"):
+                    with reg.scope("inner"):
+                        pass
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Scope paths never interleave across threads: exactly the two
+        # expected paths exist, with every call accounted for.
+        assert sorted(reg.scopes) == ["outer", "outer/inner"]
+        assert reg.scopes["outer"].n_calls == n_threads * n_calls
+        assert reg.scopes["outer/inner"].n_calls == n_threads * n_calls
+
+
 class TestExport:
     def _populated(self):
         reg, tick = fake_clock_registry()

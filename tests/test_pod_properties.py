@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.pod import fit_pod, project_coefficients, projection_error, reconstruct
@@ -14,8 +14,28 @@ matrices = hnp.arrays(
 )
 
 
+def _near_rank_deficient_example():
+    """Mostly-constant matrix whose third eigenvalue sits ~1e-10 below the
+    leading one — small enough that the method-of-snapshots scaling
+    amplifies eigenvector noise past 1e-6 without the QR polish."""
+    m = np.full((6, 11), 1.0001)
+    m[0, 0] = 0.0
+    m[0, 2] = 2.0
+    m[1, 0] = 1.0
+    m[3, 1] = 7.0
+    return m
+
+
+def _single_subnormal_example():
+    m = np.zeros((6, 4))
+    m[0, 0] = 1.5018998e-156
+    return m
+
+
 @settings(max_examples=40, deadline=None)
 @given(snapshots=matrices)
+@example(snapshots=_near_rank_deficient_example())
+@example(snapshots=_single_subnormal_example())
 def test_modes_orthonormal(snapshots):
     basis = fit_pod(snapshots)
     gram = basis.modes.T @ basis.modes

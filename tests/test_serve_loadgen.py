@@ -1,0 +1,136 @@
+"""Closed-loop load generator and SLO report (repro.serve.loadgen)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (SLO_REPORT_FORMAT, SLO_REPORT_VERSION,
+                         ForecastEngine, nearest_rank_percentile,
+                         run_loadgen, validate_slo_report)
+
+
+@pytest.fixture()
+def windows(tiny_emulator, generator):
+    snaps = generator.snapshots(np.arange(60))
+    return tiny_emulator.pipeline.windows_from_snapshots(snaps).inputs
+
+
+class TestNearestRankPercentile:
+    def test_known_values(self):
+        sample = [10.0, 20.0, 30.0, 40.0]
+        assert nearest_rank_percentile(sample, 50.0) == 20.0
+        assert nearest_rank_percentile(sample, 75.0) == 30.0
+        assert nearest_rank_percentile(sample, 95.0) == 40.0
+        assert nearest_rank_percentile(sample, 100.0) == 40.0
+
+    def test_single_element(self):
+        assert nearest_rank_percentile([7.0], 99.0) == 7.0
+
+    @pytest.mark.parametrize("q", [0.0, -1.0, 100.5])
+    def test_out_of_range(self, q):
+        with pytest.raises(ValueError, match="percentile"):
+            nearest_rank_percentile([1.0], q)
+
+    def test_empty_sample(self):
+        with pytest.raises(ValueError, match="empty"):
+            nearest_rank_percentile([], 50.0)
+
+
+class TestRunLoadgen:
+    def test_report_well_formed(self, tiny_emulator, windows, tmp_path):
+        with ForecastEngine(tiny_emulator, cache_entries=0) as engine:
+            report = run_loadgen(engine, windows, clients=3,
+                                 requests_per_client=8)
+        assert report.clients == 3
+        assert report.n_requests == 24
+        assert report.n_errors == 0
+        assert report.throughput_rps > 0
+        lat = report.latency_ms
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        # The exported JSON round-trips through the schema validator.
+        path = tmp_path / "slo.json"
+        report.dump(path)
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        validate_slo_report(data)
+        assert data["format"] == SLO_REPORT_FORMAT
+        assert data["version"] == SLO_REPORT_VERSION
+
+    def test_small_pool_exercises_cache(self, tiny_emulator, windows):
+        with ForecastEngine(tiny_emulator) as engine:
+            report = run_loadgen(engine, windows[:2], clients=2,
+                                 requests_per_client=10)
+        assert report.engine["cache"]["hits"] > 0
+
+    def test_table_mentions_key_numbers(self, tiny_emulator, windows):
+        with ForecastEngine(tiny_emulator, cache_entries=0) as engine:
+            report = run_loadgen(engine, windows, clients=2,
+                                 requests_per_client=4)
+        text = report.table()
+        assert "throughput" in text
+        assert "p95" in text
+        assert "cache" in text
+
+    def test_engine_must_be_running(self, tiny_emulator, windows):
+        engine = ForecastEngine(tiny_emulator)
+        with pytest.raises(RuntimeError, match="not running"):
+            run_loadgen(engine, windows)
+
+    def test_argument_validation(self, tiny_emulator, windows):
+        with ForecastEngine(tiny_emulator) as engine:
+            with pytest.raises(ValueError, match="clients"):
+                run_loadgen(engine, windows, clients=0)
+            with pytest.raises(ValueError, match="requests_per_client"):
+                run_loadgen(engine, windows, requests_per_client=0)
+            with pytest.raises(ValueError, match="windows"):
+                run_loadgen(engine, np.zeros((0, 4, 3)))
+            with pytest.raises(ValueError, match="windows"):
+                run_loadgen(engine, np.zeros((4, 3)))
+
+
+class TestValidateSLOReport:
+    def _valid(self):
+        return {"format": SLO_REPORT_FORMAT, "version": SLO_REPORT_VERSION,
+                "clients": 2, "n_requests": 4, "n_errors": 0,
+                "duration_s": 0.1, "throughput_rps": 40.0,
+                "latency_ms": {"mean": 1.0, "p50": 1.0, "p95": 2.0,
+                               "p99": 3.0, "max": 3.0},
+                "engine": {}}
+
+    def test_valid_passes(self):
+        validate_slo_report(self._valid())
+
+    def test_wrong_format(self):
+        data = self._valid()
+        data["format"] = "nope"
+        with pytest.raises(ValueError, match="not an SLO report"):
+            validate_slo_report(data)
+
+    def test_wrong_version(self):
+        data = self._valid()
+        data["version"] = SLO_REPORT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            validate_slo_report(data)
+
+    def test_missing_key(self):
+        data = self._valid()
+        del data["throughput_rps"]
+        with pytest.raises(ValueError, match="missing key"):
+            validate_slo_report(data)
+
+    def test_negative_latency(self):
+        data = self._valid()
+        data["latency_ms"]["p95"] = -1.0
+        with pytest.raises(ValueError, match="finite and"):
+            validate_slo_report(data)
+
+    def test_non_monotone_percentiles(self):
+        data = self._valid()
+        data["latency_ms"]["p95"] = 5.0  # above p99
+        with pytest.raises(ValueError, match="monotone"):
+            validate_slo_report(data)
+
+    def test_not_a_dict(self):
+        with pytest.raises(ValueError, match="dict"):
+            validate_slo_report([1, 2, 3])

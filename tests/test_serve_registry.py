@@ -1,0 +1,99 @@
+"""Model registry (repro.serve.registry): layout, promotion atomicity
+discipline, and name hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "reg")
+
+
+@pytest.fixture()
+def windows(tiny_emulator, generator):
+    snaps = generator.snapshots(np.arange(60))
+    return tiny_emulator.pipeline.windows_from_snapshots(snaps).inputs
+
+
+class TestPublish:
+    def test_layout(self, registry, tiny_emulator):
+        path = registry.publish("v1", tiny_emulator)
+        assert path == registry.root / "versions" / "v1.npz"
+        assert path.exists()
+        assert registry.versions() == ["v1"]
+        assert registry.active() is None  # publish alone does not promote
+
+    def test_no_tmp_leftovers(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True)
+        leftovers = [p for p in registry.root.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_republish_replaces(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, metadata={"rev": 1})
+        registry.publish("v1", tiny_emulator, metadata={"rev": 2})
+        assert registry.versions() == ["v1"]
+        assert registry.header("v1")["metadata"] == {"rev": 2}
+
+    @pytest.mark.parametrize("bad", ["", ".hidden", "a/b", "a b",
+                                     "x.npz", "../escape", None])
+    def test_bad_names_rejected(self, registry, tiny_emulator, bad):
+        with pytest.raises(ValueError, match="invalid version name"):
+            registry.publish(bad, tiny_emulator)
+
+
+class TestPromotion:
+    def test_promote_sets_active(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator)
+        registry.publish("v2", tiny_emulator)
+        registry.promote("v1")
+        assert registry.active() == "v1"
+        registry.promote("v2")
+        assert registry.active() == "v2"
+
+    def test_publish_activate(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True)
+        assert registry.active() == "v1"
+
+    def test_promote_unknown_rejected(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator)
+        with pytest.raises(ValueError, match="unknown version"):
+            registry.promote("v2")
+        assert registry.active() is None  # failed promote changed nothing
+
+
+class TestLoad:
+    def test_load_active_bitwise(self, registry, tiny_emulator, windows):
+        registry.publish("v1", tiny_emulator, activate=True)
+        name, loaded = registry.load()
+        assert name == "v1"
+        np.testing.assert_array_equal(
+            loaded.predict_windows(windows),
+            tiny_emulator.predict_windows(windows))
+
+    def test_load_by_name(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator)
+        name, _ = registry.load("v1")
+        assert name == "v1"
+
+    def test_load_without_active(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator)
+        with pytest.raises(ValueError, match="no active version"):
+            registry.load()
+
+    def test_load_unknown(self, registry):
+        with pytest.raises(ValueError, match="unknown version"):
+            registry.load("ghost")
+
+    def test_reopen_existing_registry(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True)
+        reopened = ModelRegistry(registry.root)
+        assert reopened.versions() == ["v1"]
+        assert reopened.active() == "v1"
+
+    def test_repr_mentions_state(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True)
+        text = repr(registry)
+        assert "v1" in text
