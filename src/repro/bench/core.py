@@ -55,13 +55,27 @@ class BenchResult:
                 "reps": self.reps, "metadata": self.metadata}
 
 
-def run_benchmark(bench: Benchmark, *, reps: int = 5,
+def run_benchmark(bench: Benchmark, *, reps: int = 5, warmup_s: float = 0.0,
                   clock=time.perf_counter) -> BenchResult:
-    """Time one benchmark: setup once, one warmup call, ``reps`` timed."""
+    """Time one benchmark: setup once, warmup, ``reps`` timed.
+
+    The warmup is always at least one call (first-call allocations and
+    caches don't count); ``warmup_s > 0`` keeps calling until that much
+    wall time has elapsed, so machines whose CPU frequency ramps up
+    under sustained load (laptop/CI governors) are measured at steady
+    state rather than mid-ramp. The CLI (`repro bench`) uses a 0.25 s
+    floor; the default here stays a single call so fake-clock tests and
+    embedders keep the historical behaviour.
+    """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
+    if warmup_s < 0:
+        raise ValueError(f"warmup_s must be >= 0, got {warmup_s}")
     fn = bench.make()
-    fn()  # warmup: first-call allocations and caches don't count
+    t_warm = clock()
+    fn()
+    while clock() - t_warm < warmup_s:
+        fn()
     times = []
     for _ in range(reps):
         t0 = clock()
@@ -74,7 +88,8 @@ def run_benchmark(bench: Benchmark, *, reps: int = 5,
 
 
 def run_suite(benchmarks: list[Benchmark], *, reps: int = 5,
-              out_path=None, progress: Callable[[str], None] | None = None
+              warmup_s: float = 0.0, out_path=None,
+              progress: Callable[[str], None] | None = None
               ) -> dict[str, BenchResult]:
     """Run every benchmark and (optionally) write the JSON trajectory."""
     names = [b.name for b in benchmarks]
@@ -82,7 +97,7 @@ def run_suite(benchmarks: list[Benchmark], *, reps: int = 5,
         raise ValueError(f"duplicate benchmark names in suite: {names}")
     results: dict[str, BenchResult] = {}
     for bench in benchmarks:
-        result = run_benchmark(bench, reps=reps)
+        result = run_benchmark(bench, reps=reps, warmup_s=warmup_s)
         results[bench.name] = result
         if progress is not None:
             progress(f"{bench.name:40s} {result.mean_s * 1e3:10.3f} ms "

@@ -113,7 +113,10 @@ def bench_main(argv: list[str]) -> int:
         obs.enable()
     print(f"running {len(suite)} benchmarks "
           f"({'quick' if args.quick else 'full'} sizes, reps={reps})")
-    results = run_suite(suite, reps=reps, out_path=args.out, progress=print)
+    # 0.25 s warmup floor: measure at steady-state CPU frequency, not
+    # mid-ramp (matters for the first few ms-scale cell benchmarks).
+    results = run_suite(suite, reps=reps, warmup_s=0.25,
+                        out_path=args.out, progress=print)
     print(f"wrote {args.out}")
     if args.obs:
         print()

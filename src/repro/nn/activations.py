@@ -14,14 +14,38 @@ __all__ = ["Identity", "ReLU", "Sigmoid", "Tanh", "get_activation",
            "sigmoid", "dsigmoid_from_y", "dtanh_from_y"]
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+def sigmoid(x: np.ndarray, out: np.ndarray | None = None,
+            scratch: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic sigmoid.
+
+    Evaluates the two-branch stable form without boolean fancy indexing
+    (the historical implementation masked positive and negative entries
+    separately, which cost four gather/scatter passes — ~a third of the
+    LSTM hot path). With ``z = exp(-|x|)`` the branches share one
+    ``exp`` and one divide: ``1/(1+z)`` where ``x >= 0`` and ``z/(1+z)``
+    elsewhere. Every element sees the exact arithmetic of the masked
+    version, so the results are bitwise identical to it.
+
+    The numerator needs no boolean select at all: ``exp(min(x, 0))`` is
+    ``exp(0) = 1.0`` exactly where ``x >= 0`` and ``exp(x) = exp(-|x|)``
+    bit for bit where ``x < 0``, so the whole evaluation is plain ufunc
+    passes (NaN propagates through ``minimum``/``exp`` unchanged).
+
+    ``out`` optionally receives the result in place (it may be a strided
+    view, e.g. a gate block of a preallocated buffer). ``scratch``, if
+    given, must be a writable array of ``x``'s shape — the fused kernels
+    pass a reused buffer, making the hot path allocation-free.
+    """
+    z = scratch if scratch is not None else np.empty_like(x)
+    np.abs(x, out=z)
+    np.negative(z, out=z)
+    np.exp(z, out=z)
+    if out is None:
+        out = np.empty_like(x)
+    np.minimum(x, 0.0, out=out)
+    np.exp(out, out=out)
+    z += 1.0
+    return np.divide(out, z, out=out)
 
 
 def dsigmoid_from_y(y: np.ndarray) -> np.ndarray:

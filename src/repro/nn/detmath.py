@@ -58,14 +58,26 @@ def batch_invariant():
         _LOCAL.enabled = previous
 
 
-def recurrent_matmul(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+def recurrent_matmul(a: np.ndarray, w: np.ndarray,
+                     out: np.ndarray | None = None) -> np.ndarray:
     """``a @ w`` for a 2-D ``(B, K)`` left operand whose rows are
     independent examples.
 
     Identical to ``a @ w`` unless the calling thread is inside
     :func:`batch_invariant`, in which case each row is computed by the
     batch-of-one kernel so the result's bits do not depend on ``B``.
+
+    ``out`` optionally receives the result in place — the fused kernels
+    (:mod:`repro.nn.fused`) reuse one pre-activation buffer across
+    timesteps. Both modes honor it: the batch-invariant path routes the
+    gufunc through a ``(B, 1, N)`` view of ``out``, so serving
+    equivalence covers the fused matmuls too.
     """
     if not getattr(_LOCAL, "enabled", False):
-        return a @ w
-    return (a[:, None, :] @ w)[:, 0, :]
+        if out is None:
+            return a @ w
+        return np.matmul(a, w, out=out)
+    if out is None:
+        return (a[:, None, :] @ w)[:, 0, :]
+    np.matmul(a[:, None, :], w, out=out[:, None, :])
+    return out

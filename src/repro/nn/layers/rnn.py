@@ -2,6 +2,11 @@
 
 ``h_t = tanh(x_t Wx + h_{t-1} Wh + b)`` — the lightest recurrent cell in
 the extended operation catalog (see :mod:`repro.nn.layers.gru`).
+
+Weight layout: ``Wx (F, H)``, ``Wh (H, H)``, ``b (H,)``. Reference and
+fused implementations coexist (:mod:`repro.nn.fused`); with a single
+gate there is nothing to stack, so the fused path is pure buffer reuse
+plus cache-blocked BPTT accumulation.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ import numpy as np
 from repro import obs
 from repro.nn.activations import dtanh_from_y
 from repro.nn.detmath import recurrent_matmul
+from repro.nn.fused import ScratchPool, fused_enabled, ones_column
 from repro.nn.initializers import glorot_uniform, orthogonal
 from repro.nn.layers.base import Layer
 from repro.utils.rng import as_generator
@@ -25,6 +31,7 @@ class SimpleRNNLayer(Layer):
     def __init__(self, units: int) -> None:
         super().__init__()
         self.units = check_positive_int(units, name="units")
+        self._pool = ScratchPool()
 
     def build(self, input_dims: list[int], rng=None) -> None:
         if len(input_dims) != 1:
@@ -41,8 +48,26 @@ class SimpleRNNLayer(Layer):
     def output_dim(self) -> int:
         return self.units
 
+    # ------------------------------------------------------------------
     def forward(self, inputs, training: bool = False) -> np.ndarray:
         x = self._check_single_input(inputs)
+        if fused_enabled():
+            return self._forward_fused(x)
+        return self._forward_reference(x)
+
+    def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        self._cache = None
+        if cache[0] == "fused":
+            return self._backward_fused(cache, grad_output)
+        return self._backward_reference(cache, grad_output)
+
+    # ------------------------------------------------------------------
+    # Reference path — ground truth of the differential suite.
+    # ------------------------------------------------------------------
+    def _forward_reference(self, x: np.ndarray) -> np.ndarray:
         batch, steps, _ = x.shape
         wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
         hs = np.zeros((steps, batch, self.units))
@@ -53,14 +78,12 @@ class SimpleRNNLayer(Layer):
         for t in range(steps):
             h_prev = np.tanh(x_proj[:, t, :] + recurrent_matmul(h_prev, wh))
             hs[t] = h_prev
-        self._cache = (x, hs)
+        self._cache = ("ref", x, hs)
         return np.ascontiguousarray(hs.transpose(1, 0, 2))
 
-    def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:
-        if self._cache is None:
-            raise RuntimeError("backward called before forward")
-        x, hs = self._cache
-        self._cache = None
+    def _backward_reference(self, cache, grad_output: np.ndarray
+                            ) -> list[np.ndarray]:
+        _, x, hs = cache
         batch, steps, _ = x.shape
         wx, wh = self.params["Wx"], self.params["Wh"]
         grad_out = grad_output.transpose(1, 0, 2)
@@ -81,6 +104,109 @@ class SimpleRNNLayer(Layer):
         self.grads["Wh"] += dwh
         self.grads["b"] += db
         return [dx]
+
+    # ------------------------------------------------------------------
+    # Fused path — the training hot path (see repro.nn.fused).
+    # ------------------------------------------------------------------
+    def _buffers(self, batch: int, steps: int, in_dim: int) -> dict:
+        units = self.units
+        return self._pool.get(
+            (batch, steps, in_dim),
+            lambda: {
+                "hs": np.empty((steps, batch, units)),
+                "xT": np.empty((steps, batch, in_dim)),
+                "xp": np.empty((batch, steps, units)),
+                "pre": np.empty((batch, units)),
+                "whT": np.empty((units, units)),
+                "wxT": np.empty((units, in_dim)),
+                "t1": np.empty((batch, units)),
+                "t2": np.empty((batch, units)),
+                "dh_next": np.empty((batch, units)),
+                "zeros": np.zeros((batch, units)),
+                "dpres": np.empty((steps, batch, units)),
+                "acc": ones_column(
+                    np.empty((steps * batch, in_dim + 1 + units)), in_dim),
+                "accR": np.empty((in_dim + 1 + units, units)),
+                "dxf": np.empty((steps * batch, in_dim)),
+            })
+
+    def _forward_fused(self, x: np.ndarray) -> np.ndarray:
+        batch, steps, in_dim = x.shape
+        units = self.units
+        wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+        bufs = self._buffers(batch, steps, in_dim)
+        hs = bufs["hs"]
+        # Input projection: the REFERENCE's exact batched 3-D matmul —
+        # a differently shaped GEMM over the same data is not bitwise
+        # safe in general (M/N-dependent kernels reorder the
+        # K-reduction; small odd shapes expose it).
+        xp = bufs["xp"]
+        np.matmul(x, wx, out=xp)  # (B, T, units), == reference x @ wx
+        xp += b
+        # Time-major input copy for the backward accumulation fill.
+        xT = bufs["xT"]
+        xT[:] = x.transpose(1, 0, 2)
+        obs.counter_add("nn/fused_gemms", 1 + steps)
+        h_prev = bufs["zeros"]
+        pre = bufs["pre"]  # reused pre-activation buffer
+        for t in range(steps):
+            recurrent_matmul(h_prev, wh, out=pre)
+            pre += xp[:, t, :]
+            h_prev = np.tanh(pre, out=hs[t])
+        self._cache = ("fused", x, hs)
+        # Always a fresh copy: for singleton batch/steps the transpose
+        # is already contiguous and ``ascontiguousarray`` would hand the
+        # caller a *view into the pooled scratch* that the next forward
+        # overwrites.
+        out = np.empty((batch, steps, units))
+        np.copyto(out, hs.transpose(1, 0, 2))
+        return out
+
+    def _backward_fused(self, cache, grad_output: np.ndarray
+                        ) -> list[np.ndarray]:
+        _, x, hs = cache
+        batch, steps, in_dim = x.shape
+        units = self.units
+        wx, wh = self.params["Wx"], self.params["Wh"]
+        bufs = self._buffers(batch, steps, in_dim)
+        # Contiguous pre-transposed weights (OpenBLAS's NoTrans path
+        # beats its Trans path at these sizes; within the documented
+        # 1e-12 backward budget at non-BLAS shapes).
+        wh_t = bufs["whT"]
+        np.copyto(wh_t, wh.T)
+        wx_t = bufs["wxT"]
+        np.copyto(wx_t, wx.T)
+        grad_out = grad_output.transpose(1, 0, 2)
+        dpres = bufs["dpres"]
+        t1, t2 = bufs["t1"], bufs["t2"]
+        dh_next = bufs["dh_next"]
+        dh_next[:] = 0.0
+        for t in range(steps - 1, -1, -1):
+            np.add(grad_out[t], dh_next, out=t1)
+            np.multiply(hs[t], hs[t], out=t2)  # dtanh = 1 - h^2
+            np.subtract(1.0, t2, out=t2)
+            np.multiply(t1, t2, out=dpres[t])
+            np.matmul(dpres[t], wh_t, out=dh_next)
+
+        # Cache-blocked accumulation (see repro.nn.fused): dWx, db, dWh
+        # from one stacked GEMM against [x | 1 | h_{t-1}], dx from a
+        # second.
+        obs.counter_add("nn/fused_bptt_gemms", 2 + steps)
+        dpre_flat = dpres.reshape(steps * batch, units)
+        acc = bufs["acc"]
+        acc3 = acc.reshape(steps, batch, in_dim + 1 + units)
+        acc3[..., :in_dim] = bufs["xT"]  # filled time-major by forward
+        acc3[0, :, in_dim + 1:] = 0.0
+        acc3[1:, :, in_dim + 1:] = hs[:-1]
+        R = np.matmul(acc.T, dpre_flat, out=bufs["accR"])
+        self.grads["Wx"] += R[:in_dim]
+        self.grads["b"] += R[in_dim]
+        self.grads["Wh"] += R[in_dim + 1:]
+        dxf = np.matmul(dpre_flat, wx_t, out=bufs["dxf"])
+        dx = dxf.reshape(steps, batch, in_dim)
+        out = np.empty((batch, steps, in_dim))  # never a pooled view
+        np.copyto(out, dx.transpose(1, 0, 2))
+        return [out]
 
     def __repr__(self) -> str:
         return f"SimpleRNNLayer(units={self.units})"

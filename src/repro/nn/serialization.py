@@ -103,8 +103,18 @@ def network_from_spec(spec: dict, weights: list[np.ndarray], *,
 
 
 def save_network(network: Network, path) -> None:
-    """Write the network's structure and weights to ``path`` (.npz)."""
-    header = {"format": "repro-network-v1", **network_spec(network)}
+    """Write the network's structure and weights to ``path`` (.npz).
+
+    The header carries ``layout: gate-stacked-v1`` — the recurrent
+    weight convention (``wx``/``wh`` with gate blocks stacked along the
+    last axis, LSTM order i|f|g|o, GRU order z|r|g) that both the
+    reference and the fused kernels consume directly. Archives written
+    before the tag existed omit it; :func:`load_network` tolerates its
+    absence because the convention never changed — the fused kernels
+    were built to read the reference layout in place.
+    """
+    header = {"format": "repro-network-v1",
+              "layout": "gate-stacked-v1", **network_spec(network)}
     arrays = {f"w{i}": w for i, w in enumerate(network.get_weights())}
     np.savez(_npz_path(path), __spec__=np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
@@ -116,6 +126,10 @@ def load_network(path) -> Network:
         header = json.loads(bytes(archive["__spec__"].tobytes()).decode("utf-8"))
         if header.get("format") != "repro-network-v1":
             raise ValueError(f"{path}: not a repro network archive")
+        layout = header.get("layout", "gate-stacked-v1")
+        if layout != "gate-stacked-v1":
+            raise ValueError(f"{path}: unsupported weight layout "
+                             f"{layout!r} (expected gate-stacked-v1)")
         weights = [archive[f"w{i}"]
                    for i in range(len(archive.files) - 1)]
     return network_from_spec(header, weights, source=str(path))

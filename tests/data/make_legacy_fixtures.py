@@ -1,0 +1,110 @@
+"""Generate the legacy-artifact fixtures checked in under tests/data/.
+
+These files were produced by the *pre-fused-kernel* implementation of the
+recurrent layers (PR 5 state of the tree, gate-stacked ``Wx``/``Wh``/``b``
+parameters, strictly serial per-step math) and are intentionally committed
+as binaries: the compatibility tests in tests/test_serve_engine.py,
+tests/test_serialization.py and tests/test_nas_checkpoint.py assert that
+every later rewrite of the layer internals still loads them and
+reproduces their recorded outputs bit for bit.
+
+Do NOT regenerate these fixtures casually — rewriting them with a newer
+tree would silently destroy the backward-compatibility evidence. If the
+on-disk format ever changes version, add *new* fixtures next to the old
+ones instead.
+
+Run from the repo root:  PYTHONPATH=src python tests/data/make_legacy_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+
+
+def make_emulator_fixtures() -> None:
+    from repro.data import LatLonGrid
+    from repro.data.sst import SyntheticSST
+    from repro.forecast import PODLSTMEmulator
+    from repro.nn import Trainer
+    from repro.serve import save_bundle
+
+    generator = SyntheticSST(grid=LatLonGrid(degrees=12.0), seed=123)
+    snapshots = generator.snapshots(np.arange(60))
+    emulator = PODLSTMEmulator(n_modes=3, window=4,
+                               trainer=Trainer(epochs=2, batch_size=16))
+    emulator.fit(snapshots, rng=0)
+    save_bundle(emulator, HERE / "legacy_emulator_bundle.npz",
+                metadata={"fixture": "pre-fused-kernels"})
+    windows = emulator.pipeline.windows_from_snapshots(snapshots).inputs
+    np.save(HERE / "legacy_emulator_windows.npy", windows)
+    np.save(HERE / "legacy_emulator_forecast.npy",
+            emulator.predict_windows(windows))
+
+
+def make_network_fixtures() -> None:
+    from repro.nn import DenseLayer, LSTMLayer, Network
+    from repro.nn.layers import AddLayer, GRULayer, SimpleRNNLayer
+    from repro.nn.serialization import save_network
+
+    net = Network(input_dim=5, rng=0)
+    net.add_node("l1", LSTMLayer(6), ["input"])
+    net.add_node("g1", GRULayer(6), ["l1"])
+    net.add_node("proj", DenseLayer(6), ["l1"])
+    net.add_node("merge", AddLayer("relu"), ["g1", "proj"])
+    net.add_node("r1", SimpleRNNLayer(4), ["merge"])
+    net.add_node("out", DenseLayer(5), ["r1"])
+    net.set_output("out")
+    save_network(net, HERE / "legacy_network.npz")
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((3, 8, 5))
+    np.save(HERE / "legacy_network_input.npy", x)
+    np.save(HERE / "legacy_network_forward.npy", net.forward(x))
+
+
+def make_campaign_fixtures() -> None:
+    from repro.hpc import ThetaPartition, resume_search, run_search
+    from repro.nas import (AgingEvolution, ArchitecturePerformanceModel,
+                           CheckpointPolicy, SurrogateEvaluator)
+    from repro.nas.space.ops import Operation
+    from repro.nas.space.search_space import StackedLSTMSpace
+
+    def space():
+        ops = (Operation("identity"), Operation("lstm", 4),
+               Operation("lstm", 8), Operation("lstm", 12))
+        return StackedLSTMSpace(n_layers=3, input_dim=3, output_dim=3,
+                                operations=ops, max_skip_depth=3)
+
+    def evaluator(sp):
+        return SurrogateEvaluator(sp, ArchitecturePerformanceModel(sp, seed=0))
+
+    ckpt = HERE / "legacy_campaign_v2.json"
+    sp = space()
+    run_search(AgingEvolution(sp, rng=7, population_size=8, sample_size=3),
+               evaluator(sp), ThetaPartition(n_nodes=4, wall_seconds=1200.0),
+               rng=123, walltime=400.0, checkpoint=CheckpointPolicy(ckpt))
+    # Record the full trajectory the resumed campaign must reproduce.
+    sp2 = space()
+    _, tracker = resume_search(ckpt, sp2, evaluator(sp2))
+    records = [[list(r.architecture), r.reward, r.start_time, r.end_time,
+                r.node] for r in tracker.records]
+    (HERE / "legacy_campaign_expected.json").write_text(
+        json.dumps({"records": records}, indent=1), encoding="utf-8")
+    # resume_search consumed the checkpoint state in memory only; the
+    # on-disk fixture still holds the interrupted campaign. Re-interrupt
+    # would overwrite it, so regenerate it last to be safe.
+    sp3 = space()
+    run_search(AgingEvolution(sp3, rng=7, population_size=8, sample_size=3),
+               evaluator(sp3), ThetaPartition(n_nodes=4, wall_seconds=1200.0),
+               rng=123, walltime=400.0, checkpoint=CheckpointPolicy(ckpt))
+
+
+if __name__ == "__main__":
+    make_emulator_fixtures()
+    make_network_fixtures()
+    make_campaign_fixtures()
+    print("fixtures written to", HERE)

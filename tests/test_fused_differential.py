@@ -1,0 +1,271 @@
+"""Differential numerics harness: fused kernels vs the reference path.
+
+The fused recurrent kernels (repro.nn.fused; lstm/gru/rnn layers) are
+only allowed to exist because of this suite. The contract they are held
+to, across every cell, a grid of shapes (including B=1, T=1, F != H,
+odd/non-SIMD sizes) and both detmath modes:
+
+* **forward is bitwise identical** to the reference implementation —
+  compared on raw bit patterns, not with a tolerance;
+* **backward gradients agree to <= 1e-12** max-abs-diff (the
+  cache-blocked accumulation reassociates the timestep reduction;
+  everything else is the reference arithmetic in the reference order);
+* flipping kernels or batch-invariant mode between calls never corrupts
+  a layer's pooled scratch state, and repeated calls are self-identical;
+* layer outputs are always fresh arrays — never views into pooled
+  scratch a later forward would overwrite (the B=1 aliasing regression).
+
+Shape notes: (1, 1, 3, 5) and (2, 50, 11, 13) pin the small/odd shapes
+where differently *shaped* GEMMs over the same data genuinely round
+differently (BLAS picks M/N-dependent kernels; the batch-invariant
+gufunc's SIMD remainder reorders odd-K accumulation) — the fused path
+must therefore issue reference-shaped GEMMs, and these shapes fail
+within seconds if it stops doing so. (1, 4, 80, 3) is the serving
+regression: a tiny output cell fed by a wide one, caught originally by
+the engine's cross-mode bitwise test.
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.nn.detmath import batch_invariant
+from repro.nn.fused import (fused_enabled, fused_kernels, reference_kernels,
+                            set_fused_default)
+from repro.nn.layers import (AddLayer, DenseLayer, GRULayer, LSTMLayer,
+                             SimpleRNNLayer)
+from repro.nn.model import Network
+
+CELLS = [LSTMLayer, GRULayer, SimpleRNNLayer]
+CELL_IDS = ["lstm", "gru", "rnn"]
+
+# (batch, steps, in_dim, units)
+SHAPES = [
+    (64, 16, 8, 64),   # the benchmark/training shape
+    (1, 1, 3, 5),      # singleton batch and time, odd dims
+    (7, 3, 2, 16),     # row-panel remainder
+    (33, 9, 8, 48),    # non-power-of-two batch
+    (2, 50, 11, 13),   # long sequence, odd K everywhere
+    (1, 4, 80, 3),     # wide-to-narrow (the serving regression)
+    (1, 4, 3, 80),     # narrow-to-wide
+    (3, 2, 1, 1),      # degenerate single-feature cell
+]
+SHAPE_IDS = ["b%dt%df%dh%d" % s for s in SHAPES]
+
+MODES = [False, True]
+MODE_IDS = ["plain", "invariant"]
+
+
+def _mode(invariant):
+    return batch_invariant() if invariant else contextlib.nullcontext()
+
+
+def _build(cls, shape, seed_salt=0):
+    batch, steps, in_dim, units = shape
+    rng = np.random.default_rng(
+        abs(hash((cls.__name__, shape, seed_salt))) % 2**32)
+    layer = cls(units)
+    layer.build([in_dim], rng=rng)
+    x = rng.standard_normal((batch, steps, in_dim))
+    grad_out = rng.standard_normal((batch, steps, units))
+    return layer, x, grad_out
+
+
+def _run(layer, x, grad_out, *, fused, invariant):
+    """One forward+backward pass; returns (y, dx, {param: grad})."""
+    with _mode(invariant), fused_kernels(fused):
+        y = layer.forward([x])
+        layer.zero_grads()
+        (dx,) = layer.backward(grad_out)
+        grads = {k: v.copy() for k, v in layer.grads.items()}
+    return y, dx, grads
+
+
+class TestForwardBitwise:
+    @pytest.mark.parametrize("invariant", MODES, ids=MODE_IDS)
+    @pytest.mark.parametrize("shape", SHAPES, ids=SHAPE_IDS)
+    @pytest.mark.parametrize("cls", CELLS, ids=CELL_IDS)
+    def test_fused_forward_is_bitwise_reference(self, cls, shape, invariant):
+        layer, x, _ = _build(cls, shape)
+        with _mode(invariant):
+            with reference_kernels():
+                y_ref = layer.forward([x])
+                layer._cache = None
+            with fused_kernels():
+                y_fused = layer.forward([x])
+                layer._cache = None
+        # Bit patterns, not tolerances: signed zeros, NaN payloads and
+        # the last ulp all count.
+        np.testing.assert_array_equal(y_ref.view(np.uint8),
+                                      y_fused.view(np.uint8))
+
+
+class TestBackwardBudget:
+    BUDGET = 1e-12
+
+    @pytest.mark.parametrize("invariant", MODES, ids=MODE_IDS)
+    @pytest.mark.parametrize("shape", SHAPES, ids=SHAPE_IDS)
+    @pytest.mark.parametrize("cls", CELLS, ids=CELL_IDS)
+    def test_fused_gradients_within_budget(self, cls, shape, invariant):
+        layer, x, grad_out = _build(cls, shape)
+        _, dx_ref, g_ref = _run(layer, x, grad_out,
+                                fused=False, invariant=invariant)
+        _, dx_fused, g_fused = _run(layer, x, grad_out,
+                                    fused=True, invariant=invariant)
+        assert np.abs(dx_ref - dx_fused).max() <= self.BUDGET
+        for name in g_ref:
+            assert np.abs(g_ref[name] - g_fused[name]).max() <= \
+                self.BUDGET, f"param {name}"
+
+
+class TestCrossModeServing:
+    """The serving engine's contract: a plain-mode forward and a
+    batch-invariant forward of the same single example agree bitwise
+    (the engine always infers under batch_invariant; clients compare
+    against plain-mode serial predictions)."""
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=SHAPE_IDS)
+    @pytest.mark.parametrize("cls", CELLS, ids=CELL_IDS)
+    def test_single_example_plain_equals_invariant(self, cls, shape):
+        batch, steps, in_dim, units = shape
+        layer, x, _ = _build(cls, (1, steps, in_dim, units))
+        y_plain = layer.forward([x])
+        layer._cache = None
+        with batch_invariant():
+            y_inv = layer.forward([x])
+            layer._cache = None
+        np.testing.assert_array_equal(y_plain.view(np.uint8),
+                                      y_inv.view(np.uint8))
+
+
+class TestScratchRobustness:
+    def test_outputs_are_fresh_arrays_not_pool_views(self):
+        """Regression: for singleton batch dims ``transpose(1, 0, 2)``
+        of a pooled buffer is already contiguous, and handing out a view
+        of it lets the *next* forward overwrite earlier results."""
+        for cls in CELLS:
+            layer, _, _ = _build(cls, (1, 3, 4, 6))
+            rng = np.random.default_rng(5)
+            xs = [rng.standard_normal((1, 3, 4)) for _ in range(4)]
+            outs = []
+            for x in xs:
+                outs.append(layer.forward([x]).copy())
+                layer._cache = None
+            # Re-run: every stored result must still be reproduced.
+            for x, want in zip(xs, outs):
+                got = layer.forward([x])
+                layer._cache = None
+                np.testing.assert_array_equal(got, want)
+
+    def test_mode_flip_between_calls_is_safe(self):
+        """Alternating fused/reference and plain/invariant between
+        calls reuses the same layer (and pool) without contamination.
+        (Plain and invariant legitimately differ for B > 1 — the
+        comparison is always within the same detmath mode.)"""
+        layer, x, grad_out = _build(LSTMLayer, (3, 4, 5, 7))
+        baseline = {}
+        for invariant in (False, True):
+            baseline[invariant] = _run(layer, x, grad_out,
+                                       fused=False, invariant=invariant)
+        for fused in (True, False, True, True):
+            for invariant in (True, False):
+                y, _, _ = _run(layer, x, grad_out,
+                               fused=fused, invariant=invariant)
+                np.testing.assert_array_equal(y, baseline[invariant][0])
+        y0, dx0, g0 = baseline[False]
+        y, dx, g = _run(layer, x, grad_out, fused=True, invariant=False)
+        np.testing.assert_array_equal(y, y0)
+        assert np.abs(dx - dx0).max() <= 1e-12
+        for name in g0:
+            assert np.abs(g[name] - g0[name]).max() <= 1e-12
+
+    def test_backward_matches_its_own_forward_mode(self):
+        """The cache records which path filled it; flipping the flag
+        between forward and backward must not mix implementations."""
+        layer, x, grad_out = _build(GRULayer, (2, 3, 4, 5))
+        _, dx_ref, g_ref = _run(layer, x, grad_out,
+                                fused=False, invariant=False)
+        with reference_kernels():
+            layer.forward([x])
+        layer.zero_grads()
+        with fused_kernels():  # flag flipped after forward
+            (dx,) = layer.backward(grad_out)
+        np.testing.assert_array_equal(dx, dx_ref)
+        for name in g_ref:
+            np.testing.assert_array_equal(layer.grads[name], g_ref[name])
+
+    def test_shape_change_rebuilds_buffers(self):
+        layer = LSTMLayer(6)
+        layer.build([4], rng=0)
+        rng = np.random.default_rng(9)
+        for shape in [(2, 3, 4), (5, 7, 4), (1, 1, 4), (2, 3, 4)]:
+            x = rng.standard_normal(shape)
+            with reference_kernels():
+                want = layer.forward([x])
+                layer._cache = None
+            got = layer.forward([x])
+            layer._cache = None
+            np.testing.assert_array_equal(want, got)
+
+
+class TestDefaultSwitch:
+    def test_process_default_and_context_interact(self):
+        assert fused_enabled()  # repo default is fused
+        try:
+            set_fused_default(False)
+            assert not fused_enabled()
+            with fused_kernels():
+                assert fused_enabled()
+            assert not fused_enabled()
+        finally:
+            set_fused_default(True)
+        assert fused_enabled()
+
+
+class TestNetworkLevel:
+    """A hybrid skip-connected DAG run end to end under every mode
+    combination — fused/reference x serial/parallel — stays bitwise."""
+
+    def _hybrid(self, parallel=False):
+        net = Network(input_dim=5, rng=3, parallel=parallel)
+        net.add_node("l1", LSTMLayer(6), ["input"])
+        net.add_node("g1", GRULayer(6), ["l1"])
+        net.add_node("proj", DenseLayer(6), ["l1"])
+        net.add_node("merge", AddLayer("relu"), ["g1", "proj"])
+        net.add_node("r1", SimpleRNNLayer(4), ["merge"])
+        net.add_node("out", DenseLayer(5), ["r1"])
+        net.set_output("out")
+        return net
+
+    def test_network_forward_bitwise_all_modes(self):
+        x = np.random.default_rng(4).standard_normal((3, 8, 5))
+        net = self._hybrid()
+        with reference_kernels():
+            want = net.forward(x)
+        with fused_kernels():
+            np.testing.assert_array_equal(net.forward(x), want)
+        par = self._hybrid(parallel=True)
+        par.set_weights(net.get_weights())
+        np.testing.assert_array_equal(par.forward(x), want)
+        with reference_kernels():
+            np.testing.assert_array_equal(par.forward(x), want)
+
+    def test_network_training_step_equivalent(self):
+        x = np.random.default_rng(6).standard_normal((4, 6, 5))
+        grad = np.random.default_rng(7).standard_normal((4, 6, 5))
+        ref_net, fused_net = self._hybrid(), self._hybrid()
+        fused_net.set_weights(ref_net.get_weights())
+        with reference_kernels():
+            ref_net.forward(x, training=True)
+            ref_net.zero_grads()
+            dx_ref = ref_net.backward(grad)
+        with fused_kernels():
+            fused_net.forward(x, training=True)
+            fused_net.zero_grads()
+            dx_fused = fused_net.backward(grad)
+        assert np.abs(dx_ref - dx_fused).max() <= 1e-12
+        ref_grads = [g for _, g in ref_net.parameters_and_gradients()]
+        fused_grads = [g for _, g in fused_net.parameters_and_gradients()]
+        for g_ref, g_fused in zip(ref_grads, fused_grads, strict=True):
+            assert np.abs(g_ref - g_fused).max() <= 1e-12

@@ -227,3 +227,37 @@ class TestResumeContinuesSearch:
         t2 = run_asynchronous_search(resumed, evaluator, part, rng=2)
         assert resumed.n_told == search.n_told + t2.n_evaluations
         assert resumed.best_reward >= search.best_reward
+
+
+class TestLegacyCampaignFixture:
+    """A v2 campaign checkpoint written by the pre-fused-kernel tree
+    (tests/data/) resumes under today's code and reproduces the exact
+    recorded evaluation trajectory — rewards, timestamps, node
+    placement and all."""
+
+    def test_legacy_v2_campaign_resumes_bitwise(self, tmp_path):
+        import json
+        import shutil
+        from pathlib import Path
+
+        from repro.hpc import resume_search
+        from repro.nas.space.ops import Operation
+        from repro.nas.space.search_space import StackedLSTMSpace
+
+        data = Path(__file__).parent / "data"
+        expected = json.loads(
+            (data / "legacy_campaign_expected.json").read_text())
+        # resume_search consumes checkpoint state; work on a copy so the
+        # committed fixture is never touched.
+        ckpt = tmp_path / "campaign.json"
+        shutil.copy(data / "legacy_campaign_v2.json", ckpt)
+        ops = (Operation("identity"), Operation("lstm", 4),
+               Operation("lstm", 8), Operation("lstm", 12))
+        space = StackedLSTMSpace(n_layers=3, input_dim=3, output_dim=3,
+                                 operations=ops, max_skip_depth=3)
+        evaluator = SurrogateEvaluator(
+            space, ArchitecturePerformanceModel(space, seed=0))
+        _, tracker = resume_search(ckpt, space, evaluator)
+        records = [[list(r.architecture), r.reward, r.start_time,
+                    r.end_time, r.node] for r in tracker.records]
+        assert records == expected["records"]

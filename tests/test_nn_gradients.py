@@ -9,6 +9,7 @@ import pytest
 
 from repro.nas.space.ops import default_operations, hybrid_operations
 from repro.nn import AddLayer, DenseLayer, LSTMLayer, Network
+from repro.nn.fused import fused_kernels
 from repro.nn.layers import GRULayer, IdentityLayer, SimpleRNNLayer
 from repro.nn.losses import MeanSquaredError
 
@@ -247,6 +248,46 @@ class TestSearchSpaceOpGradients:
         layer.build([5], rng=0)
         probe_gradient_check(layer, [rng.standard_normal((2, 4, 5))], rng)
 
+class TestRecurrentGradientsBothKernels:
+    """Finite differences against the fused AND the reference kernels
+    for every cell, at rectangular (in_dim != units) sizes in both
+    directions — the fused BPTT's stacked accumulation GEMMs are shape-
+    sensitive, so a square-only check would miss transposition bugs."""
+
+    RECT_CELLS = [
+        (LSTMLayer, 2, 7),   # narrow input, wide state
+        (LSTMLayer, 9, 3),   # wide input, narrow state
+        (GRULayer, 2, 6),
+        (GRULayer, 8, 3),
+        (SimpleRNNLayer, 3, 5),
+        (SimpleRNNLayer, 7, 2),
+    ]
+
+    @pytest.mark.parametrize("fused", [True, False],
+                             ids=["fused", "reference"])
+    @pytest.mark.parametrize(
+        "cls,in_dim,units", RECT_CELLS,
+        ids=[f"{c.__name__}_{f}to{u}" for c, f, u in RECT_CELLS])
+    def test_rectangular_cell(self, cls, in_dim, units, fused, rng):
+        layer = cls(units)
+        layer.build([in_dim], rng=0)
+        with fused_kernels(fused):
+            check_layer_gradients(
+                layer, [rng.standard_normal((2, 4, in_dim))], rng,
+                atol=2e-6)
+
+    @pytest.mark.parametrize("fused", [True, False],
+                             ids=["fused", "reference"])
+    def test_singleton_batch_lstm(self, fused, rng):
+        """B=1/T=1 corners exercise the pooled-scratch edge cases."""
+        layer = LSTMLayer(4)
+        layer.build([3], rng=1)
+        with fused_kernels(fused):
+            check_layer_gradients(
+                layer, [rng.standard_normal((1, 1, 3))], rng, atol=2e-6)
+
+
+class TestSearchSpaceOpGradientsContinued:
     @pytest.mark.parametrize("activation", ["relu", "identity", "tanh"])
     def test_elementwise_combiner(self, activation, rng):
         """The add-merge node (skip-connection combiner) for every

@@ -134,3 +134,55 @@ class TestEmulatorSerialization:
     def test_unfitted_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             save_emulator(PODLSTMEmulator(), tmp_path / "x.npz")
+
+
+class TestLegacyNetworkFixtures:
+    """Pre-fused-kernel artifacts (tests/data/, see
+    make_legacy_fixtures.py) must load into today's layers and
+    reproduce their recorded forward pass bit for bit — the weight
+    layout round-trip guarantee of the fused-kernel rewrite."""
+
+    def test_legacy_network_loads_and_reproduces_forward(self):
+        from pathlib import Path
+        data = Path(__file__).parent / "data"
+        net = load_network(data / "legacy_network.npz")
+        x = np.load(data / "legacy_network_input.npy")
+        want = np.load(data / "legacy_network_forward.npy")
+        got = net.forward(x)  # fused kernels (the default)
+        np.testing.assert_array_equal(got.view(np.uint8),
+                                      want.view(np.uint8))
+
+    def test_legacy_network_reference_path_also_bitwise(self):
+        from pathlib import Path
+
+        from repro.nn.fused import reference_kernels
+        data = Path(__file__).parent / "data"
+        net = load_network(data / "legacy_network.npz")
+        x = np.load(data / "legacy_network_input.npy")
+        want = np.load(data / "legacy_network_forward.npy")
+        with reference_kernels():
+            got = net.forward(x)
+        np.testing.assert_array_equal(got.view(np.uint8),
+                                      want.view(np.uint8))
+
+    def test_legacy_network_parallel_dag_bitwise(self):
+        from pathlib import Path
+        data = Path(__file__).parent / "data"
+        net = load_network(data / "legacy_network.npz")
+        net.parallel = True
+        x = np.load(data / "legacy_network_input.npy")
+        want = np.load(data / "legacy_network_forward.npy")
+        np.testing.assert_array_equal(net.forward(x).view(np.uint8),
+                                      want.view(np.uint8))
+
+    def test_legacy_network_save_load_roundtrip_stable(self, tmp_path):
+        """Re-serializing a legacy artifact with today's writer loses
+        nothing: the re-saved network still reproduces the recording."""
+        from pathlib import Path
+        data = Path(__file__).parent / "data"
+        net = load_network(data / "legacy_network.npz")
+        save_network(net, tmp_path / "resaved.npz")
+        again = load_network(tmp_path / "resaved.npz")
+        x = np.load(data / "legacy_network_input.npy")
+        want = np.load(data / "legacy_network_forward.npy")
+        np.testing.assert_array_equal(again.forward(x), want)

@@ -228,3 +228,42 @@ class TestForecastCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError, match="max_entries"):
             ForecastCache(max_entries=-1)
+
+
+class TestLegacyBundleCompatibility:
+    """A bundle saved by the pre-fused-kernel tree (tests/data/) loads
+    into today's fused layers and serves bitwise-identical forecasts —
+    both directly and through the micro-batching engine."""
+
+    @pytest.fixture(scope="class")
+    def legacy(self):
+        from pathlib import Path
+
+        from repro.serve import load_bundle
+        data = Path(__file__).parent / "data"
+        emulator = load_bundle(data / "legacy_emulator_bundle.npz")
+        windows = np.load(data / "legacy_emulator_windows.npy")
+        forecasts = np.load(data / "legacy_emulator_forecast.npy")
+        return emulator, windows, forecasts
+
+    def test_direct_predictions_bitwise(self, legacy):
+        emulator, windows, want = legacy
+        got = emulator.predict_windows(windows)
+        assert np.array_equal(got.view(np.uint8), want.view(np.uint8))
+
+    def test_engine_serves_legacy_forecasts_bitwise(self, legacy):
+        """Engine responses for a legacy bundle equal its serial
+        one-at-a-time predictions (the engine contract; the recorded
+        fixture is a full-batch prediction, which batch-invariance
+        deliberately does NOT have to match for B > 1)."""
+        emulator, windows, _ = legacy
+        serial = [emulator.predict_windows(w[None])[0]
+                  for w in windows[:16]]
+        with ForecastEngine(emulator, max_batch=4,
+                            cache_entries=0) as engine:
+            with ThreadPoolExecutor(max_workers=4) as executor:
+                futures = [executor.submit(engine.forecast, w)
+                           for w in windows[:16]]
+                outputs = [f.result() for f in futures]
+        for output, reference in zip(outputs, serial, strict=True):
+            assert np.array_equal(output, reference)
