@@ -357,9 +357,62 @@ def _serve_throughput_benchmark() -> Benchmark:
                               "aggregation)"})
 
 
+#: Per-request service-time floor of the router benchmarks. Like
+#: ``_PACE_SECONDS`` above, a pace keeps the scaling measurement
+#: meaningful on single-core CI runners: with paced workers the w4/w1
+#: throughput ratio measures dispatch/sharding overlap, not how many
+#: LSTM forward passes one core can interleave.
+_ROUTER_PACE_SECONDS = 0.01
+
+
+def _serve_router_benchmark(workers: int) -> Benchmark:
+    """Closed-loop load through the sharded socket router at 1 vs 4
+    paced workers — the distributed-tier scaling entries of
+    BENCH_core.json (w4 must sustain >= 2x the w1 throughput)."""
+    clients, requests_per_client = 8, 6
+
+    def make():
+        import tempfile
+
+        from repro.serve import ModelRegistry, WorkerConfig
+        from repro.serve.loadgen import run_router_loadgen
+        from repro.serve.router import ForecastRouter
+        emulator = _serve_emulator()
+        registry_dir = tempfile.mkdtemp(prefix="repro-bench-router-")
+        ModelRegistry(registry_dir).publish("bench", emulator,
+                                            activate=True)
+        # max_batch=1 + cache off: every request occupies its worker for
+        # the full pace, so throughput scales with worker overlap only.
+        worker_config = WorkerConfig(max_batch=1, cache_entries=0,
+                                     pace_s=_ROUTER_PACE_SECONDS)
+        router = ForecastRouter(registry_dir, n_workers=workers,
+                                worker_config=worker_config).start()
+        address = router.address
+        rng = np.random.default_rng(3)
+        windows = rng.uniform(
+            -1.0, 1.0, size=(clients * requests_per_client, 8, 5))
+
+        def run():
+            run_router_loadgen(address, windows, clients=clients,
+                               requests_per_client=requests_per_client)
+        return run
+
+    return Benchmark(
+        name=f"serve_router_throughput_w{workers}",
+        make=make,
+        metadata={"workers": workers, "clients": clients,
+                  "requests_per_client": requests_per_client,
+                  "max_batch": 1, "cache": "off",
+                  "pace_seconds": _ROUTER_PACE_SECONDS,
+                  "measures": "closed-loop load through the sharded "
+                              "socket router against paced engine "
+                              "workers (framing, consistent-hash "
+                              "dispatch, multi-process overlap)"})
+
+
 def default_suite(quick: bool = True, *,
                   max_workers: int = 4) -> list[Benchmark]:
-    """The BENCH_core.json suite (18 benchmarks quick, 21 full).
+    """The BENCH_core.json suite (20 benchmarks quick, 23 full).
 
     ``max_workers`` caps the pool sizes of the serial-vs-pool throughput
     benchmarks (``repro bench --workers``); 0 drops them entirely.
@@ -379,4 +432,6 @@ def default_suite(quick: bool = True, *,
     suite.append(_serve_latency_benchmark(1))
     suite.append(_serve_latency_benchmark(8))
     suite.append(_serve_throughput_benchmark())
+    suite.append(_serve_router_benchmark(1))
+    suite.append(_serve_router_benchmark(4))
     return suite

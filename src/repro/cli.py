@@ -13,12 +13,14 @@ Usage::
     python -m repro search --algorithm rs --workers 4  # pooled search
     python -m repro serve --registry reg --train-demo v1
     python -m repro serve --registry reg --loadgen --report slo.json
+    python -m repro serve --registry reg --router --workers 4 --loadgen
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -303,6 +305,19 @@ def serve_main(argv: list[str]) -> int:
                         help="serve the selected version through the "
                              "engine and run the closed-loop load "
                              "generator; prints the SLO report")
+    parser.add_argument("--router", action="store_true",
+                        help="serve through the sharded multi-process "
+                             "router instead of one in-process engine; "
+                             "with --loadgen the load runs against the "
+                             "router socket, otherwise the router stays "
+                             "up until Ctrl-C")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="with --router: engine worker processes "
+                             "(default: 2)")
+    parser.add_argument("--client-processes", action="store_true",
+                        dest="client_processes",
+                        help="with --router --loadgen: run each "
+                             "closed-loop client as its own OS process")
     parser.add_argument("--version", default=None, metavar="NAME",
                         help="version to serve (default: the active one)")
     parser.add_argument("--clients", type=int, default=4, metavar="N",
@@ -329,6 +344,10 @@ def serve_main(argv: list[str]) -> int:
         parser.error(f"--requests must be >= 1, got {args.requests}")
     if args.max_batch < 1:
         parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.client_processes and not args.router:
+        parser.error("--client-processes requires --router")
 
     import numpy as np
 
@@ -354,7 +373,7 @@ def serve_main(argv: list[str]) -> int:
         print(f"promoted {args.promote!r} to active")
         acted = True
 
-    if args.status or not (acted or args.loadgen):
+    if args.status or not (acted or args.loadgen or args.router):
         versions = registry.versions()
         active = registry.active()
         print(f"registry {registry.root}")
@@ -365,7 +384,47 @@ def serve_main(argv: list[str]) -> int:
             print(f"  {name}{marker}")
         acted = True
 
-    if args.loadgen:
+    if args.router:
+        from repro.serve import WorkerConfig
+        from repro.serve.loadgen import run_router_loadgen
+        from repro.serve.router import ForecastRouter
+        name, emulator = registry.load(args.version)
+        if args.version is not None and name != registry.active():
+            parser.error("--router serves the ACTIVE version; promote "
+                         f"{args.version!r} first (--promote)")
+        window = emulator.pipeline.window
+        n_modes = emulator.pipeline.n_modes
+        worker_config = WorkerConfig(max_batch=args.max_batch)
+        with ForecastRouter(args.registry, n_workers=args.workers,
+                            worker_config=worker_config) as router:
+            host, port = router.address
+            print(f"router serving version {name!r} on {host}:{port} "
+                  f"with {args.workers} workers "
+                  f"(max_batch={args.max_batch})")
+            if args.loadgen:
+                pool_size = max(1, min(args.clients * args.requests, 128))
+                rng = np.random.default_rng(args.seed)
+                windows = rng.uniform(-1.0, 1.0,
+                                      size=(pool_size, window, n_modes))
+                mode = "process" if args.client_processes else "thread"
+                print(f"load: {args.clients} {mode} clients x "
+                      f"{args.requests} requests")
+                report = run_router_loadgen(
+                    (host, port), windows, clients=args.clients,
+                    requests_per_client=args.requests,
+                    processes=args.client_processes)
+                print(report.table())
+                if args.report is not None:
+                    report.dump(args.report)
+                    print(f"wrote {args.report}")
+            else:
+                print("serving until Ctrl-C...")
+                try:
+                    while True:
+                        time.sleep(1.0)
+                except KeyboardInterrupt:
+                    print("shutting down")
+    elif args.loadgen:
         name, emulator = registry.load(args.version)
         window = emulator.pipeline.window
         n_modes = emulator.pipeline.n_modes

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,8 +39,8 @@ from repro.forecast.pod_lstm import PODLSTMEmulator
 from repro.nn.detmath import batch_invariant
 from repro.serve.cache import ForecastCache, window_digest
 
-__all__ = ["EngineOverloaded", "ForecastTimeout", "EngineConfig",
-           "ForecastEngine"]
+__all__ = ["EngineOverloaded", "ForecastTimeout", "EngineStopped",
+           "EngineConfig", "ForecastEngine"]
 
 
 class EngineOverloaded(RuntimeError):
@@ -48,6 +49,15 @@ class EngineOverloaded(RuntimeError):
 
 class ForecastTimeout(TimeoutError):
     """The caller's wait bound expired before the response arrived."""
+
+
+class EngineStopped(RuntimeError):
+    """The engine stopped before the queued request could be served.
+
+    Typed (rather than a bare ``RuntimeError``) so process boundaries can
+    translate it faithfully: a router worker that is shut down maps this
+    onto the ``shutdown`` wire error code and the client sees a typed
+    error instead of a hung socket (tests/test_router_faults.py)."""
 
 
 @dataclass(frozen=True)
@@ -70,6 +80,15 @@ class EngineConfig:
         Worker wake-up interval for noticing :meth:`ForecastEngine.stop`
         while idle (does not delay queued requests — the worker blocks
         directly on the queue).
+    pace_s:
+        Artificial service-time floor per drained batch (seconds); the
+        worker sleeps out the remainder after inference. 0 (the
+        default) disables it. Like
+        :class:`~repro.nas.evaluation.PacedEvaluator`, this models the
+        per-request occupancy of a production-size emulator on its own
+        core, which keeps the sharded-router throughput benchmarks
+        (``serve_router_throughput_*``) meaningful on single-core CI
+        runners where compute-bound work cannot overlap.
     """
 
     max_batch: int = 8
@@ -77,6 +96,7 @@ class EngineConfig:
     default_timeout_s: float = 10.0
     cache_entries: int = 256
     poll_interval_s: float = 0.02
+    pace_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -92,6 +112,8 @@ class EngineConfig:
         if self.poll_interval_s <= 0:
             raise ValueError(f"poll_interval_s must be positive, "
                              f"got {self.poll_interval_s}")
+        if self.pace_s < 0:
+            raise ValueError(f"pace_s must be >= 0, got {self.pace_s}")
 
 
 class _PendingForecast:
@@ -217,7 +239,7 @@ class ForecastEngine:
                 pending = self._queue.get_nowait()
             except queue.Empty:
                 break
-            pending._fail(RuntimeError(
+            pending._fail(EngineStopped(
                 "engine stopped before the request was served"))
 
     def __enter__(self) -> "ForecastEngine":
@@ -294,6 +316,7 @@ class ForecastEngine:
 
     def _run_batch(self, batch: list[_PendingForecast]) -> None:
         stacked = np.stack([p.window for p in batch])
+        t_start = time.perf_counter()
         try:
             with obs.scope("serve/batch"):
                 outputs = self._infer(stacked)
@@ -301,6 +324,10 @@ class ForecastEngine:
             for pending in batch:
                 pending._fail(error)
             return
+        if self.config.pace_s > 0.0:
+            remaining = self.config.pace_s - (time.perf_counter() - t_start)
+            if remaining > 0.0:
+                time.sleep(remaining)
         with self._stats_lock:
             self._n_batches += 1
             self._n_batched += len(batch)

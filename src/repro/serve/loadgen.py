@@ -26,8 +26,9 @@ import numpy as np
 from repro import obs
 from repro.serve.engine import ForecastEngine
 
-__all__ = ["SLOReport", "run_loadgen", "nearest_rank_percentile",
-           "validate_slo_report", "SLO_REPORT_FORMAT", "SLO_REPORT_VERSION"]
+__all__ = ["SLOReport", "run_loadgen", "run_router_loadgen",
+           "nearest_rank_percentile", "validate_slo_report",
+           "SLO_REPORT_FORMAT", "SLO_REPORT_VERSION"]
 
 #: Format tag / schema version of an exported SLO report.
 SLO_REPORT_FORMAT = "repro-slo-report"
@@ -205,4 +206,169 @@ def run_loadgen(engine: ForecastEngine, windows, *, clients: int = 4,
                        throughput_rps=throughput, latency_ms=latency,
                        engine=engine.stats())
     validate_slo_report(report.as_json())
+    return report
+
+
+def _summarize(latencies_ms, errors, *, clients: int,
+               requests_per_client: int, duration_s: float,
+               stats: dict) -> SLOReport:
+    """Aggregate per-client samples into a validated report."""
+    flat = sorted(lat for per_client in latencies_ms for lat in per_client)
+    n_served = len(flat)
+    throughput = n_served / duration_s if duration_s > 0 else 0.0
+    if flat:
+        latency = {"mean": float(sum(flat) / n_served),
+                   "max": float(flat[-1])}
+        for q in _PERCENTILES:
+            latency[f"p{q:g}"] = nearest_rank_percentile(flat, q)
+    else:
+        latency = {"mean": 0.0, "max": 0.0}
+        latency.update({f"p{q:g}": 0.0 for q in _PERCENTILES})
+    report = SLOReport(clients=clients,
+                       n_requests=clients * requests_per_client,
+                       n_errors=sum(errors), duration_s=duration_s,
+                       throughput_rps=throughput, latency_ms=latency,
+                       engine=stats)
+    validate_slo_report(report.as_json())
+    return report
+
+
+def _router_client_main(address, pool_bytes: bytes, shape, index: int,
+                        requests_per_client: int,
+                        timeout_s: float | None, barrier,
+                        results_queue) -> None:
+    """One closed-loop client *process* of :func:`run_router_loadgen`.
+
+    Module-level (picklable) so the process mode works under any
+    multiprocessing start method. Connects first, then synchronizes on
+    the barrier so every client opens fire together.
+    """
+    from repro.serve.router import RouterClient
+    pool = np.frombuffer(pool_bytes, dtype=np.float64).reshape(shape)
+    latencies: list[float] = []
+    errors = 0
+    try:
+        with RouterClient(tuple(address),
+                          timeout_s=timeout_s or 30.0) as client:
+            barrier.wait()
+            for i in range(requests_per_client):
+                window = pool[(index * requests_per_client + i)
+                              % shape[0]]
+                t0 = time.perf_counter()
+                try:
+                    client.forecast(window, timeout=timeout_s)
+                except Exception:
+                    errors += 1
+                    continue
+                latencies.append((time.perf_counter() - t0) * 1e3)
+    except Exception:
+        # Connection never came up: report every request as an error
+        # rather than hanging the parent on a missing queue entry.
+        errors = requests_per_client - len(latencies)
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+    results_queue.put((index, latencies, errors))
+
+
+def run_router_loadgen(address, windows, *, clients: int = 4,
+                       requests_per_client: int = 50,
+                       timeout_s: float | None = None,
+                       processes: bool = False) -> SLOReport:
+    """Closed-loop load against a :class:`~repro.serve.router.ForecastRouter`
+    socket at ``address``.
+
+    Same harness shape as :func:`run_loadgen`, but the clients talk the
+    wire protocol — each owns one TCP connection, so the router's
+    accept/framing/dispatch path is on the measured critical path.
+    With ``processes=True`` every client is a separate OS process
+    (GIL-free send/receive loops); otherwise clients are threads in
+    this process. The report's ``engine`` field carries the router's
+    post-run :meth:`~repro.serve.router.ForecastRouter.stats` snapshot
+    (per-shard queue depths and engine stats).
+    """
+    from repro.serve.router import RouterClient
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise ValueError(f"requests_per_client must be >= 1, "
+                         f"got {requests_per_client}")
+    pool = np.ascontiguousarray(windows, dtype=np.float64)
+    if pool.ndim != 3 or pool.shape[0] == 0:
+        raise ValueError(f"windows must be a non-empty "
+                         f"(n, window, n_modes) array, got {pool.shape}")
+
+    latencies_ms: list[list[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+
+    if processes:
+        import multiprocessing as mp
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        barrier = ctx.Barrier(clients + 1)
+        results_queue = ctx.Queue()
+        procs = [ctx.Process(target=_router_client_main,
+                             args=(tuple(address), pool.tobytes(),
+                                   pool.shape, i, requests_per_client,
+                                   timeout_s, barrier, results_queue),
+                             daemon=True,
+                             name=f"repro-router-loadgen-{i}")
+                 for i in range(clients)]
+        for proc in procs:
+            proc.start()
+        try:
+            barrier.wait(timeout=60.0)
+        except threading.BrokenBarrierError:
+            pass  # a client aborted; its queue entry reports the errors
+        t_start = time.perf_counter()
+        for _ in range(clients):
+            index, lats, errs = results_queue.get(timeout=600.0)
+            latencies_ms[index] = lats
+            errors[index] = errs
+        duration_s = time.perf_counter() - t_start
+        for proc in procs:
+            proc.join(timeout=10.0)
+    else:
+        barrier = threading.Barrier(clients + 1)
+
+        def client_loop(index: int) -> None:
+            with RouterClient(address,
+                              timeout_s=timeout_s or 30.0) as client:
+                barrier.wait()
+                for i in range(requests_per_client):
+                    window = pool[(index * requests_per_client + i)
+                                  % pool.shape[0]]
+                    t0 = time.perf_counter()
+                    try:
+                        client.forecast(window, timeout=timeout_s)
+                    except Exception:
+                        errors[index] += 1
+                        continue
+                    latencies_ms[index].append(
+                        (time.perf_counter() - t0) * 1e3)
+
+        threads = [threading.Thread(target=client_loop, args=(i,),
+                                    name=f"repro-router-loadgen-{i}")
+                   for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        t_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        duration_s = time.perf_counter() - t_start
+
+    try:
+        with RouterClient(address, timeout_s=timeout_s or 30.0) as probe:
+            stats = probe.stats()
+    except Exception:
+        stats = {}
+    report = _summarize(latencies_ms, errors, clients=clients,
+                        requests_per_client=requests_per_client,
+                        duration_s=duration_s, stats=stats)
+    obs.gauge_set("serve/router_loadgen/throughput_rps",
+                  report.throughput_rps)
+    obs.gauge_set("serve/router_loadgen/p95_ms",
+                  report.latency_ms["p95"])
     return report

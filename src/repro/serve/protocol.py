@@ -1,0 +1,274 @@
+"""Length-prefixed TCP framing for the sharded serving tier.
+
+Everything the router, its engine workers and their clients say to each
+other travels as one *frame*::
+
+    +----------+------------------+---------------------------------+
+    | b"RSF1"  | uint32 (big-e.)  | payload (header_len + JSON +    |
+    | 4 bytes  | payload length   |          raw array bytes)       |
+    +----------+------------------+---------------------------------+
+
+    payload = uint32 header_len | header JSON (utf-8) | body bytes
+
+The JSON header carries the message type and its scalar fields; when a
+message transports an array (a request window, a forecast response) the
+header's ``array`` entry records ``{"dtype", "shape"}`` and the body is
+the array's raw contiguous bytes — so a response round-trips **bitwise**
+(the serving determinism contract of docs/SERVING.md survives the wire).
+Like the bundle format the encoding is pickle-free: JSON plus plain
+bytes, inspectable and safe to parse from untrusted peers.
+
+Failure vocabulary — a reader must always terminate with a typed error,
+never hang or return garbage:
+
+* :class:`TruncatedFrame` — the stream ended (or the payload ran out)
+  mid-frame;
+* :class:`BadMagic` — the stream is not speaking this protocol;
+* :class:`FrameTooLarge` — declared payload exceeds the reader's bound
+  (refused *before* buffering, so a hostile length cannot balloon
+  memory);
+* :class:`ProtocolError` — the common base, also raised directly for
+  undecodable headers and inconsistent array metadata.
+
+``tests/test_serve_protocol.py`` pins encode∘decode identity and the
+typed-failure behaviour with Hypothesis property tests.
+
+Error codes
+-----------
+Failures cross the wire as ``{"type": "error", "code": ..., "message":
+...}`` frames; :func:`code_for` / :func:`exception_for` translate between
+the wire codes and the typed exceptions on either side, so an
+:class:`~repro.serve.engine.EngineOverloaded` raised inside a worker
+process resurfaces as :class:`EngineOverloaded` at the client.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.serve.engine import EngineOverloaded, EngineStopped, \
+    ForecastTimeout
+
+__all__ = [
+    "PROTOCOL_MAGIC", "MAX_PAYLOAD",
+    "ProtocolError", "TruncatedFrame", "BadMagic", "FrameTooLarge",
+    "RouterShutdown", "WorkerUnavailable",
+    "encode_message", "decode_message", "encode_frame", "read_frame",
+    "ERR_OVERLOADED", "ERR_TIMEOUT", "ERR_SHUTDOWN", "ERR_UNAVAILABLE",
+    "ERR_BAD_REQUEST", "ERR_INTERNAL", "code_for", "exception_for",
+]
+
+#: First four bytes of every frame ("Repro Serve Framing v1").
+PROTOCOL_MAGIC = b"RSF1"
+
+#: Default bound on one frame's payload. Far above any real request
+#: (a forecast window is a few KiB) while keeping a hostile or corrupt
+#: length field from allocating unbounded memory.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+_FRAME = struct.Struct("!4sI")
+_HEADER_LEN = struct.Struct("!I")
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that do not decode as a protocol message."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The stream (or payload) ended in the middle of a frame."""
+
+
+class BadMagic(ProtocolError):
+    """The frame does not start with :data:`PROTOCOL_MAGIC`."""
+
+
+class FrameTooLarge(ProtocolError):
+    """The declared payload length exceeds the reader's bound."""
+
+
+class RouterShutdown(RuntimeError):
+    """The router (or its worker) shut down before serving the request.
+
+    Every in-flight request fails with this typed error at shutdown —
+    a client socket is answered, never deadlocked
+    (tests/test_router_faults.py)."""
+
+
+class WorkerUnavailable(RuntimeError):
+    """The request's shard worker kept dying; bounded retries exhausted."""
+
+
+# -- message encoding ----------------------------------------------------
+
+def encode_message(header: dict, body: np.ndarray | None = None) -> bytes:
+    """Serialize one message payload: JSON header plus optional array.
+
+    ``header`` must be JSON-encodable and must not set ``array`` itself —
+    that entry is derived from ``body``.
+    """
+    if not isinstance(header, dict):
+        raise TypeError(f"header must be a dict, got "
+                        f"{type(header).__name__}")
+    hdr = dict(header)
+    if body is None:
+        body_bytes = b""
+        hdr.pop("array", None)
+    else:
+        arr = np.ascontiguousarray(body)
+        if arr.dtype.hasobject:
+            raise ValueError(f"cannot transport object-dtype arrays "
+                             f"(got dtype {arr.dtype})")
+        hdr["array"] = {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+        body_bytes = arr.tobytes()
+    header_bytes = json.dumps(hdr, separators=(",", ":"),
+                              allow_nan=False).encode("utf-8")
+    return _HEADER_LEN.pack(len(header_bytes)) + header_bytes + body_bytes
+
+
+def decode_message(payload: bytes) -> tuple[dict, np.ndarray | None]:
+    """Inverse of :func:`encode_message`; raises typed errors on any
+    malformed payload."""
+    if len(payload) < _HEADER_LEN.size:
+        raise TruncatedFrame(f"payload of {len(payload)} bytes cannot "
+                             f"hold a header length")
+    (header_len,) = _HEADER_LEN.unpack_from(payload)
+    end = _HEADER_LEN.size + header_len
+    if end > len(payload):
+        raise TruncatedFrame(f"declared header of {header_len} bytes "
+                             f"exceeds the {len(payload)}-byte payload")
+    try:
+        header = json.loads(payload[_HEADER_LEN.size:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable message header: {error}") \
+            from None
+    if not isinstance(header, dict):
+        raise ProtocolError(f"message header must be a JSON object, got "
+                            f"{type(header).__name__}")
+    body_bytes = payload[end:]
+    meta = header.get("array")
+    if meta is None:
+        if body_bytes:
+            raise ProtocolError(f"{len(body_bytes)} body bytes but no "
+                                f"'array' metadata in the header")
+        return header, None
+    if not isinstance(meta, dict) or "dtype" not in meta \
+            or "shape" not in meta:
+        raise ProtocolError(f"malformed array metadata: {meta!r}")
+    try:
+        dtype = np.dtype(meta["dtype"])
+    except TypeError as error:
+        raise ProtocolError(f"bad array dtype {meta['dtype']!r}: "
+                            f"{error}") from None
+    if dtype.hasobject:
+        raise ProtocolError(f"refusing object-dtype array "
+                            f"({meta['dtype']!r})")
+    shape = meta["shape"]
+    if not isinstance(shape, list) \
+            or not all(isinstance(n, int) and not isinstance(n, bool)
+                       and n >= 0 for n in shape):
+        raise ProtocolError(f"bad array shape {shape!r}")
+    n_items = 1
+    for n in shape:
+        n_items *= n
+    if n_items * dtype.itemsize != len(body_bytes):
+        raise ProtocolError(
+            f"array metadata {meta['dtype']}{tuple(shape)} wants "
+            f"{n_items * dtype.itemsize} body bytes, got {len(body_bytes)}")
+    array = np.frombuffer(body_bytes, dtype=dtype).reshape(shape).copy()
+    return header, array
+
+
+# -- framing -------------------------------------------------------------
+
+def encode_frame(header: dict, body: np.ndarray | None = None,
+                 *, max_payload: int = MAX_PAYLOAD) -> bytes:
+    """One complete wire frame for a message."""
+    payload = encode_message(header, body)
+    if len(payload) > max_payload:
+        raise FrameTooLarge(f"payload of {len(payload)} bytes exceeds "
+                            f"the {max_payload}-byte frame bound")
+    return _FRAME.pack(PROTOCOL_MAGIC, len(payload)) + payload
+
+
+def read_frame(reader, *, max_payload: int = MAX_PAYLOAD
+               ) -> tuple[dict, np.ndarray | None] | None:
+    """Read and decode one frame from a binary file-like ``reader``.
+
+    Returns ``None`` on a clean end-of-stream at a frame boundary (the
+    peer closed between messages); raises :class:`TruncatedFrame` if the
+    stream ends mid-frame, :class:`BadMagic`/:class:`FrameTooLarge`/
+    :class:`ProtocolError` on malformed frames. Every read is bounded by
+    the declared (and checked) lengths, so a reader can never hang on a
+    frame that will not arrive byte-by-byte.
+    """
+    prefix = _read_exact(reader, _FRAME.size, eof_ok=True)
+    if prefix is None:
+        return None
+    magic, length = _FRAME.unpack(prefix)
+    if magic != PROTOCOL_MAGIC:
+        raise BadMagic(f"expected frame magic {PROTOCOL_MAGIC!r}, "
+                       f"got {magic!r}")
+    if length > max_payload:
+        raise FrameTooLarge(f"declared payload of {length} bytes exceeds "
+                            f"the {max_payload}-byte frame bound")
+    payload = _read_exact(reader, length, eof_ok=False)
+    return decode_message(payload)
+
+
+def _read_exact(reader, n: int, *, eof_ok: bool) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on immediate EOF if allowed."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = reader.read(remaining)
+        if not chunk:
+            if eof_ok and not chunks:
+                return None
+            got = n - remaining
+            raise TruncatedFrame(f"stream ended after {got} of {n} "
+                                 f"expected bytes")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+# -- wire error codes ----------------------------------------------------
+
+ERR_OVERLOADED = "overloaded"
+ERR_TIMEOUT = "timeout"
+ERR_SHUTDOWN = "shutdown"
+ERR_UNAVAILABLE = "unavailable"
+ERR_BAD_REQUEST = "bad-request"
+ERR_INTERNAL = "internal"
+
+#: code -> exception type raised at the receiving side.
+_CODE_TO_EXCEPTION = {
+    ERR_OVERLOADED: EngineOverloaded,
+    ERR_TIMEOUT: ForecastTimeout,
+    ERR_SHUTDOWN: RouterShutdown,
+    ERR_UNAVAILABLE: WorkerUnavailable,
+    ERR_BAD_REQUEST: ValueError,
+}
+
+
+def code_for(error: BaseException) -> str:
+    """The wire error code describing an exception (sending side)."""
+    if isinstance(error, EngineOverloaded):
+        return ERR_OVERLOADED
+    if isinstance(error, ForecastTimeout):
+        return ERR_TIMEOUT
+    if isinstance(error, (EngineStopped, RouterShutdown)):
+        return ERR_SHUTDOWN
+    if isinstance(error, WorkerUnavailable):
+        return ERR_UNAVAILABLE
+    if isinstance(error, ValueError):
+        return ERR_BAD_REQUEST
+    return ERR_INTERNAL
+
+
+def exception_for(code: str, message: str) -> Exception:
+    """The typed exception a wire error code maps to (receiving side)."""
+    return _CODE_TO_EXCEPTION.get(code, RuntimeError)(message)

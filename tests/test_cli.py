@@ -87,7 +87,39 @@ class TestServeCLI:
             main(["serve", "--registry", str(tmp_path / "empty"),
                   "--loadgen"])
 
+    def test_router_loadgen_round_trip(self, tmp_path, capsys):
+        """The CI router-smoke sequence: train-demo, then a short load
+        burst through the sharded multi-process router; the report must
+        validate and carry the router's shard statistics."""
+        import json
+
+        from repro.serve import validate_slo_report
+
+        registry = str(tmp_path / "reg")
+        report = tmp_path / "router-slo.json"
+        assert main(["serve", "--registry", registry,
+                     "--train-demo", "demo"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--registry", registry, "--router",
+                     "--workers", "2", "--loadgen",
+                     "--clients", "2", "--requests", "5",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "router serving version 'demo'" in out
+        assert "SLO report" in out
+        with open(report, encoding="utf-8") as fh:
+            data = json.load(fh)
+        validate_slo_report(data)
+        assert data["n_requests"] == 10
+        assert data["n_errors"] == 0
+        assert data["engine"]["n_workers"] == 2
+        assert {s["generation"] for s in data["engine"]["shards"]} \
+            == {1}
+
     def test_bad_arguments_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["serve", "--registry", str(tmp_path / "r"),
                   "--clients", "0", "--loadgen"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--registry", str(tmp_path / "r"),
+                  "--client-processes", "--loadgen"])

@@ -1,0 +1,169 @@
+"""Differential correctness of the sharded router (repro.serve.router).
+
+The router's contract is the engine's contract, preserved across every
+boundary it adds (framing, sharding, worker processes): a routed
+response is **bitwise identical** to forecasting the same window
+serially, one at a time, with no serving stack at all — at any worker
+count, and across a mid-stream zero-downtime promote, where each
+response's ``(generation, version)`` tag identifies exactly which
+bundle it must match.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry
+from repro.serve.router import ForecastRouter, RouterClient
+
+
+@pytest.fixture(scope="module")
+def windows(tiny_emulator, generator):
+    """24 real request windows in scaled coefficient space."""
+    snaps = generator.snapshots(np.arange(60))
+    return tiny_emulator.pipeline.windows_from_snapshots(snaps).inputs[:24]
+
+
+@pytest.fixture(scope="module")
+def emulator_v2(generator):
+    """A second, genuinely different bundle for promote tests."""
+    from repro.forecast import PODLSTMEmulator
+    from repro.nn import Trainer
+    snapshots = generator.snapshots(np.arange(60))
+    emulator = PODLSTMEmulator(n_modes=3, window=4,
+                               trainer=Trainer(epochs=2, batch_size=16))
+    emulator.fit(snapshots, rng=7)
+    return emulator
+
+
+@pytest.fixture(scope="module")
+def registry_root(tiny_emulator, emulator_v2, tmp_path_factory):
+    """A registry with v1 ACTIVE and v2 published but not promoted."""
+    root = tmp_path_factory.mktemp("router-registry")
+    registry = ModelRegistry(root)
+    registry.publish("v1", tiny_emulator, activate=True)
+    registry.publish("v2", emulator_v2)
+    return root
+
+
+@pytest.fixture(scope="module")
+def serial_v1(tiny_emulator, windows):
+    """The reference: every window forecast serially, no serving stack."""
+    return [tiny_emulator.predict_windows(w[None])[0] for w in windows]
+
+
+@pytest.fixture(scope="module")
+def serial_v2(emulator_v2, windows):
+    return [emulator_v2.predict_windows(w[None])[0] for w in windows]
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_bitwise_equivalence_at_any_worker_count(
+        registry_root, windows, serial_v1, n_workers):
+    with ForecastRouter(registry_root, n_workers=n_workers) as router:
+        with RouterClient(router.address) as client:
+            routed = [client.forecast(w) for w in windows]
+    for response, reference in zip(routed, serial_v1):
+        assert response.output.tobytes() == reference.tobytes()
+        assert response.generation == 1
+        assert response.version == "v1"
+    if n_workers > 1:
+        # The pool genuinely shards: more than one worker answered.
+        assert len({r.worker_id for r in routed}) > 1
+
+
+def test_concurrent_clients_stay_bitwise(registry_root, windows,
+                                         serial_v1):
+    """Six concurrent closed-loop clients, interleaved batching across
+    two shards — every response still bitwise-matches its serial
+    reference."""
+    with ForecastRouter(registry_root, n_workers=2) as router:
+        address = router.address
+        failures: list[str] = []
+
+        def client_loop(offset: int) -> None:
+            with RouterClient(address) as client:
+                for i in range(len(windows)):
+                    index = (offset + i) % len(windows)
+                    routed = client.forecast(windows[index])
+                    if routed.output.tobytes() \
+                            != serial_v1[index].tobytes():
+                        failures.append(
+                            f"client {offset} window {index}")
+        threads = [threading.Thread(target=client_loop, args=(i * 4,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert not any(t.is_alive() for t in threads)
+    assert failures == []
+
+
+def test_promote_mid_stream_each_generation_matches_its_bundle(
+        registry_root, windows, serial_v1, serial_v2):
+    """A client hammering the router across a promote sees only
+    responses that bitwise-match the bundle named by their own
+    ``(generation, version)`` tag — before, during and after the swap —
+    and the stream ends on generation 2."""
+    registry = ModelRegistry(registry_root)
+    registry.promote("v1")  # reset ACTIVE (module fixtures are shared)
+    with ForecastRouter(registry_root, n_workers=2) as router:
+        address = router.address
+        observed: list[tuple[int, int, str, bytes]] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            with RouterClient(address) as client:
+                i = 0
+                while not stop.is_set():
+                    index = i % len(windows)
+                    routed = client.forecast(windows[index])
+                    observed.append((index, routed.generation,
+                                     routed.version,
+                                     routed.output.tobytes()))
+                    i += 1
+
+        thread = threading.Thread(target=hammer)
+        with RouterClient(address) as probe:
+            before = probe.forecast(windows[0])
+            assert before.generation == 1 and before.version == "v1"
+            thread.start()
+            router.promote("v2")
+            after = probe.forecast(windows[0])
+            stop.set()
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+            assert after.generation == 2 and after.version == "v2"
+            assert after.output.tobytes() == serial_v2[0].tobytes()
+    assert registry.active() == "v2"
+    references = {(1, "v1"): serial_v1, (2, "v2"): serial_v2}
+    for index, generation, version, payload in observed:
+        assert (generation, version) in references, \
+            f"torn response tag ({generation}, {version!r})"
+        assert payload == references[(generation, version)][index].tobytes()
+    registry.promote("v1")  # leave the shared registry as found
+
+
+def test_sharding_routes_repeats_to_the_same_worker(registry_root,
+                                                    windows):
+    """Identical windows land on the same shard (that is what makes the
+    sharded cache coherent), and the router's shard prediction matches
+    what actually serves the request."""
+    with ForecastRouter(registry_root, n_workers=4) as router:
+        with RouterClient(router.address) as client:
+            for window in windows[:8]:
+                expected = router.shard_for(window)
+                workers = {client.forecast(window).worker_id
+                           for _ in range(3)}
+                assert workers == {expected}
+
+
+def test_router_requires_an_active_version(tmp_path):
+    ModelRegistry(tmp_path)  # empty registry, no ACTIVE
+    router = ForecastRouter(tmp_path, n_workers=1)
+    with pytest.raises(ValueError, match="no active version"):
+        router.start()

@@ -137,7 +137,11 @@ class TestBatching:
         release.set()
         engine.stop()
         head.result(5)  # the in-flight batch completed normally
-        with pytest.raises(RuntimeError, match="engine stopped"):
+        # The typed EngineStopped (a RuntimeError subclass) is part of
+        # the wire contract: router workers translate it to the
+        # `shutdown` error code, so the exact type is pinned here.
+        from repro.serve.engine import EngineStopped
+        with pytest.raises(EngineStopped, match="engine stopped"):
             queued.result(5)
 
 

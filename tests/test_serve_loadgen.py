@@ -134,3 +134,25 @@ class TestValidateSLOReport:
     def test_not_a_dict(self):
         with pytest.raises(ValueError, match="dict"):
             validate_slo_report([1, 2, 3])
+
+
+class TestRouterLoadgenValidation:
+    """Input validation of run_router_loadgen (the socket harness itself
+    is exercised end-to-end by tests/test_cli.py and the CI router-smoke
+    job)."""
+
+    def test_rejects_bad_client_counts(self):
+        from repro.serve import run_router_loadgen
+        windows = np.zeros((4, 4, 3))
+        with pytest.raises(ValueError, match="clients"):
+            run_router_loadgen(("127.0.0.1", 1), windows, clients=0)
+        with pytest.raises(ValueError, match="requests_per_client"):
+            run_router_loadgen(("127.0.0.1", 1), windows,
+                               requests_per_client=0)
+
+    def test_rejects_bad_window_pool(self):
+        from repro.serve import run_router_loadgen
+        with pytest.raises(ValueError, match="windows"):
+            run_router_loadgen(("127.0.0.1", 1), np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="windows"):
+            run_router_loadgen(("127.0.0.1", 1), np.zeros((0, 4, 3)))

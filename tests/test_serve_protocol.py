@@ -1,0 +1,211 @@
+"""Property tests of the serving wire protocol (repro.serve.protocol).
+
+The framing invariants a distributed tier lives or dies by:
+
+* encode∘decode is the identity — headers round-trip as equal JSON
+  values and arrays round-trip **bitwise** (including NaN/inf payloads,
+  compared on raw bytes);
+* every malformed input — truncation at *any* byte boundary, bad magic,
+  oversized declared payloads, garbage headers, inconsistent array
+  metadata — raises a *typed* error; a reader never hangs and never
+  returns garbage;
+* a clean close between frames is ``None``, not an exception.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.protocol import (MAX_PAYLOAD, PROTOCOL_MAGIC, BadMagic,
+                                  FrameTooLarge, ProtocolError,
+                                  TruncatedFrame, decode_message,
+                                  encode_frame, encode_message, read_frame)
+
+# -- strategies ----------------------------------------------------------
+
+_SCALARS = st.one_of(
+    st.none(), st.booleans(), st.integers(-2**40, 2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20))
+
+#: JSON-encodable headers; "array" is reserved for the codec itself.
+headers = st.dictionaries(
+    st.text(min_size=1, max_size=12).filter(lambda k: k != "array"),
+    st.one_of(_SCALARS, st.lists(_SCALARS, max_size=4)),
+    max_size=6)
+
+_DTYPES = st.sampled_from(["<f8", "<f4", "<i8", "<i4", "<u2", "|b1"])
+
+
+@st.composite
+def arrays(draw):
+    """Small arrays of varied dtype/shape, NaN and inf included."""
+    dtype = np.dtype(draw(_DTYPES))
+    shape = tuple(draw(st.lists(st.integers(0, 5), min_size=1,
+                                max_size=3)))
+    n = int(np.prod(shape)) if shape else 1
+    if dtype.kind == "f":
+        values = draw(st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=32),
+            min_size=n, max_size=n))
+    elif dtype.kind == "b":
+        values = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    else:
+        info = np.iinfo(dtype)
+        values = draw(st.lists(st.integers(int(info.min), int(info.max)),
+                               min_size=n, max_size=n))
+    return np.array(values, dtype=dtype).reshape(shape)
+
+
+# -- round-trip identity -------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(header=headers)
+def test_roundtrip_header_only(header):
+    decoded, body = decode_message(encode_message(header))
+    assert decoded == json.loads(json.dumps(header))
+    assert body is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(header=headers, body=arrays())
+def test_roundtrip_with_array(header, body):
+    decoded, out = decode_message(encode_message(header, body))
+    assert out is not None
+    assert out.dtype == body.dtype
+    assert out.shape == body.shape
+    # Bitwise: NaNs compare unequal by value but identical as bytes.
+    assert out.tobytes() == np.ascontiguousarray(body).tobytes()
+    for key, value in header.items():
+        assert decoded[key] == json.loads(json.dumps(value))
+    assert decoded["array"]["shape"] == list(body.shape)
+
+
+@settings(max_examples=60, deadline=None)
+@given(header=headers, body=st.one_of(st.none(), arrays()))
+def test_frame_roundtrip_through_stream(header, body):
+    frame = encode_frame(header, body)
+    reader = io.BytesIO(frame + frame)  # two back-to-back frames
+    first = read_frame(reader)
+    second = read_frame(reader)
+    assert read_frame(reader) is None  # clean EOF at the boundary
+    for message in (first, second):
+        decoded, out = message
+        if body is None:
+            assert out is None
+        else:
+            assert out.tobytes() \
+                == np.ascontiguousarray(body).tobytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(header=headers, body=st.one_of(st.none(), arrays()),
+       data=st.data())
+def test_truncation_at_every_boundary_raises_typed(header, body, data):
+    """A frame cut at ANY strictly-shorter length either raises a typed
+    protocol error or (cut=0) reports clean EOF — never hangs, never
+    yields a message."""
+    frame = encode_frame(header, body)
+    cut = data.draw(st.integers(0, len(frame) - 1))
+    reader = io.BytesIO(frame[:cut])
+    if cut == 0:
+        assert read_frame(reader) is None
+    else:
+        with pytest.raises(ProtocolError):
+            read_frame(reader)
+
+
+@settings(max_examples=60, deadline=None)
+@given(junk=st.binary(min_size=8, max_size=64))
+def test_garbage_prefix_raises_typed(junk):
+    """Arbitrary bytes either fail the magic check or die later with a
+    typed protocol error; `read_frame` never returns a message."""
+    if junk[:4] == PROTOCOL_MAGIC:  # astronomically unlikely; skip
+        return
+    with pytest.raises(ProtocolError):
+        read_frame(io.BytesIO(junk))
+
+
+def test_oversized_declared_payload_refused_before_buffering():
+    import struct
+    huge = struct.pack("!4sI", PROTOCOL_MAGIC, MAX_PAYLOAD + 1)
+    with pytest.raises(FrameTooLarge):
+        read_frame(io.BytesIO(huge))  # no payload bytes even present
+
+
+def test_oversized_encode_refused():
+    with pytest.raises(FrameTooLarge):
+        encode_frame({}, np.zeros(128, dtype=np.float64),
+                     max_payload=256)
+
+
+def test_bad_magic_is_typed():
+    frame = bytearray(encode_frame({"type": "x"}))
+    frame[:4] = b"NOPE"
+    with pytest.raises(BadMagic):
+        read_frame(io.BytesIO(bytes(frame)))
+
+
+# -- malformed payload vocabulary ---------------------------------------
+
+@pytest.mark.parametrize("payload, error", [
+    (b"", TruncatedFrame),                      # no header length
+    (b"\x00\x00\x00\x10abc", TruncatedFrame),   # header longer than payload
+    (b"\x00\x00\x00\x03[1]", ProtocolError),    # JSON but not an object
+    (b"\x00\x00\x00\x02{]", ProtocolError),     # undecodable JSON
+    (b"\x00\x00\x00\x02{}" + b"xx", ProtocolError),  # body w/o metadata
+])
+def test_malformed_payloads_raise_typed(payload, error):
+    with pytest.raises(error):
+        decode_message(payload)
+
+
+@pytest.mark.parametrize("meta", [
+    {"dtype": "<f8"},                         # missing shape
+    {"shape": [2]},                           # missing dtype
+    {"dtype": "nosuch", "shape": [2]},        # bad dtype
+    {"dtype": "|O", "shape": [1]},            # object dtype refused
+    {"dtype": "<f8", "shape": [2, -1]},       # negative extent
+    {"dtype": "<f8", "shape": [3]},           # byte count mismatch (16B)
+    {"dtype": "<f8", "shape": "2"},           # non-list shape
+    {"dtype": "<f8", "shape": [True]},        # bool masquerading as int
+])
+def test_inconsistent_array_metadata_raises_typed(meta):
+    header = json.dumps({"array": meta}).encode()
+    payload = len(header).to_bytes(4, "big") + header + b"\x00" * 16
+    with pytest.raises(ProtocolError):
+        decode_message(payload)
+
+
+def test_object_dtype_refused_on_encode():
+    with pytest.raises(ValueError, match="object-dtype"):
+        encode_message({}, np.array([object()], dtype=object))
+
+
+def test_drip_fed_reader_terminates():
+    """A frame arriving one byte at a time still decodes (bounded reads
+    tolerate short reads) — and a stream that ends mid-drip raises."""
+
+    class Drip(io.RawIOBase):
+        def __init__(self, data):
+            self.data, self.pos = data, 0
+
+        def read(self, n=-1):
+            if self.pos >= len(self.data):
+                return b""
+            chunk = self.data[self.pos:self.pos + 1]
+            self.pos += 1
+            return chunk
+
+    body = np.arange(6, dtype=np.float64).reshape(2, 3)
+    frame = encode_frame({"type": "forecast"}, body)
+    header, out = read_frame(Drip(frame))
+    assert header["type"] == "forecast"
+    assert out.tobytes() == body.tobytes()
+    with pytest.raises(TruncatedFrame):
+        read_frame(Drip(frame[:-3]))
