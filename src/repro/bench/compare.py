@@ -12,6 +12,7 @@ suites legitimately grow and shrink across PRs.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 
 __all__ = ["BenchComparison", "ComparisonRow", "compare_bench",
@@ -20,11 +21,26 @@ __all__ = ["BenchComparison", "ComparisonRow", "compare_bench",
 
 @dataclass(frozen=True)
 class ComparisonRow:
-    """Delta of one benchmark present in both suites."""
+    """Delta of one benchmark present in both suites.
+
+    Both means must be finite and positive — a zero mean would make
+    ``delta``/``speedup`` divide by zero, and no real timing is zero or
+    negative; :func:`load_bench_file` rejects such entries at the door,
+    and the constructor enforces the same invariant for rows built from
+    in-memory dicts.
+    """
 
     name: str
     old_mean_s: float
     new_mean_s: float
+
+    def __post_init__(self) -> None:
+        for label, value in (("old", self.old_mean_s),
+                             ("new", self.new_mean_s)):
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"benchmark {self.name!r}: {label} mean_s must be a "
+                    f"finite positive number, got {value!r}")
 
     @property
     def delta(self) -> float:
@@ -104,7 +120,12 @@ def compare_bench(old: dict, new: dict, *,
 
 
 def load_bench_file(path) -> dict:
-    """Load and lightly check a benchmark JSON file."""
+    """Load and check a benchmark JSON file.
+
+    Rejects entries whose ``mean_s`` is missing, non-numeric, non-finite
+    (``json.load`` happily parses ``NaN``/``Infinity``) or non-positive —
+    any of which would poison the comparison arithmetic downstream.
+    """
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
     if not isinstance(data, dict):
@@ -112,4 +133,11 @@ def load_bench_file(path) -> dict:
     for name, entry in data.items():
         if not isinstance(entry, dict) or "mean_s" not in entry:
             raise ValueError(f"{path}: entry {name!r} lacks mean_s")
+        mean_s = entry["mean_s"]
+        if isinstance(mean_s, bool) or \
+                not isinstance(mean_s, (int, float)) or \
+                not math.isfinite(mean_s) or mean_s <= 0:
+            raise ValueError(
+                f"{path}: entry {name!r} has invalid mean_s {mean_s!r} "
+                f"(must be a finite positive number)")
     return data

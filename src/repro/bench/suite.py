@@ -10,6 +10,9 @@ Covers the four cost centres of the reproduction (ISSUE: the paths every
 * POD basis computation (method of snapshots) at archive-like shape;
 * a 10-evaluation random-search slice over the surrogate (ask /
   evaluate / tell machinery, the NAS outer loop);
+* a 200-evaluation RS campaign from a tabular benchmark archive
+  (docs/NAS_BENCHMARK.md), with the extrapolated real-training cost of
+  the same campaign recorded alongside for the speedup gate;
 * a checkpoint save+load round-trip of a warm search (the per-write
   cost of campaign checkpointing, docs/CHECKPOINTING.md);
 * the inference serving hot path (docs/SERVING.md): draining queued
@@ -357,6 +360,75 @@ def _serve_throughput_benchmark() -> Benchmark:
                               "aggregation)"})
 
 
+def _nas_benchmark_campaign_benchmark() -> Benchmark:
+    """A 200-evaluation random-search campaign answered entirely from a
+    tabular benchmark archive (docs/NAS_BENCHMARK.md).
+
+    ``make()`` also times a few real short trainings of the same space
+    and extrapolates what the identical campaign would cost on the
+    training path; both numbers land in the metadata so the JSON itself
+    witnesses the archive's speedup (the acceptance floor is 100x, the
+    measured ratio is typically >> 1000x)."""
+    n_evaluations = 200
+    n_reference_evals = 3
+
+    def make():
+        import tempfile
+        import time as _time
+        from pathlib import Path
+
+        from repro.nas import ArchitecturePerformanceModel, \
+            BenchmarkEvaluator, RealTrainingEvaluator, build_archive, \
+            run_benchmark_campaign
+        from repro.nas.space.ops import Operation
+        from repro.nas.space.search_space import StackedLSTMSpace
+        from repro.nn.training import Trainer
+        space = StackedLSTMSpace(
+            3, input_dim=3, output_dim=3,
+            operations=(Operation("identity"), Operation("lstm", 4),
+                        Operation("lstm", 8), Operation("lstm", 12)),
+            max_skip_depth=3)
+        tmpdir = tempfile.mkdtemp(prefix="repro_bench_nasb_")
+        path = build_archive(space, ArchitecturePerformanceModel(space),
+                             Path(tmpdir) / "archive.npz")
+        evaluator = BenchmarkEvaluator(path)
+
+        # Reference: what each evaluation costs when it actually trains.
+        # Tiny data and 4 epochs — still 5x below the search protocol's
+        # 20 — so reference_campaign_s is a generous lower bound on the
+        # per-candidate training the archive replaces.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 6, 3))
+        y = 0.3 * np.cumsum(x, axis=1)
+        real = RealTrainingEvaluator(
+            space, (x, y, x[:16], y[:16]),
+            trainer=Trainer(epochs=4, batch_size=16))
+        t0 = _time.perf_counter()
+        for i in range(n_reference_evals):
+            real.evaluate(space.random_architecture(rng),
+                          np.random.default_rng(i))
+        per_eval = (_time.perf_counter() - t0) / n_reference_evals
+        metadata["real_training_per_eval_s"] = per_eval
+        metadata["reference_campaign_s"] = per_eval * n_evaluations
+
+        def run():
+            run_benchmark_campaign(evaluator, algorithm="rs",
+                                   n_evaluations=n_evaluations, seed=0)
+        return run
+
+    metadata = {"n_evaluations": n_evaluations,
+                "n_records": 512, "fidelity": "benchmark (tabular)",
+                "speedup_floor": 100.0,
+                "measures": "200-evaluation RS campaign answered from an "
+                            "exhaustive small-space archive; "
+                            "reference_campaign_s extrapolates the same "
+                            "campaign on the real-training path "
+                            "(reference_campaign_s / mean_s must stay "
+                            ">= speedup_floor)"}
+    return Benchmark(name="nas_benchmark_campaign", make=make,
+                     metadata=metadata)
+
+
 #: Per-request service-time floor of the router benchmarks. Like
 #: ``_PACE_SECONDS`` above, a pace keeps the scaling measurement
 #: meaningful on single-core CI runners: with paced workers the w4/w1
@@ -412,7 +484,7 @@ def _serve_router_benchmark(workers: int) -> Benchmark:
 
 def default_suite(quick: bool = True, *,
                   max_workers: int = 4) -> list[Benchmark]:
-    """The BENCH_core.json suite (20 benchmarks quick, 23 full).
+    """The BENCH_core.json suite (21 benchmarks quick, 24 full).
 
     ``max_workers`` caps the pool sizes of the serial-vs-pool throughput
     benchmarks (``repro bench --workers``); 0 drops them entirely.
@@ -424,6 +496,7 @@ def default_suite(quick: bool = True, *,
     suite.append(_trainer_epoch_benchmark(quick))
     suite.append(_pod_basis_benchmark(quick))
     suite.append(_random_search_benchmark())
+    suite.append(_nas_benchmark_campaign_benchmark())
     suite.append(_checkpoint_roundtrip_benchmark())
     if max_workers > 0:
         suite.append(_parallel_search_benchmark(None, quick))

@@ -11,6 +11,9 @@ Usage::
     python -m repro bench --quick --compare OLD.json   # perf gate
     python -m repro bench --obs --jsonl run.obs.jsonl
     python -m repro search --algorithm rs --workers 4  # pooled search
+    python -m repro benchmark build --space small --out archive.npz
+    python -m repro benchmark sweep --archive archive.npz --report sweep.json
+    python -m repro search --benchmark archive.npz --algorithm rs
     python -m repro serve --registry reg --train-demo v1
     python -m repro serve --registry reg --loadgen --report slo.json
     python -m repro serve --registry reg --router --workers 4 --loadgen
@@ -97,6 +100,18 @@ def bench_main(argv: list[str]) -> int:
 
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    # Validate the baseline up front: a malformed or zero-mean file
+    # should fail with a diagnosis *before* minutes of timing, and with
+    # a typed exit code rather than a traceback after them.
+    baseline = None
+    if args.compare is not None:
+        from repro.bench import load_bench_file
+        try:
+            baseline = load_bench_file(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: --compare baseline rejected: {exc}",
+                  file=sys.stderr)
+            return 2
     suite = default_suite(quick=args.quick, max_workers=args.workers)
     if args.filter is not None:
         suite = [b for b in suite if args.filter in b.name]
@@ -126,10 +141,10 @@ def bench_main(argv: list[str]) -> int:
         if args.jsonl is not None:
             obs.export_jsonl(args.jsonl)
             print(f"wrote {args.jsonl}")
-    if args.compare is not None:
-        from repro.bench import compare_bench, load_bench_file
+    if baseline is not None:
+        from repro.bench import compare_bench
         new = {name: r.as_json() for name, r in results.items()}
-        comparison = compare_bench(load_bench_file(args.compare), new)
+        comparison = compare_bench(baseline, new)
         print()
         print(f"comparison against {args.compare}:")
         print(comparison.table())
@@ -162,6 +177,11 @@ def search_main(argv: list[str]) -> int:
                              "either way)")
     parser.add_argument("--seed", type=int, default=0, metavar="S",
                         help="master seed of the run (default: 0)")
+    parser.add_argument("--benchmark", default=None, metavar="ARCHIVE.npz",
+                        help="evaluate from a tabular NAS benchmark "
+                             "archive (repro benchmark build) instead of "
+                             "the live surrogate; the search space is "
+                             "taken from the archive")
     parser.add_argument("--agents", type=int, default=2, metavar="N",
                         help="PPO masters for --algorithm rl (default: 2)")
     parser.add_argument("--obs", action="store_true",
@@ -208,10 +228,23 @@ def search_main(argv: list[str]) -> int:
     from repro.nas.space.ops import default_operations
     from repro.nas.space.search_space import StackedLSTMSpace
 
-    space = StackedLSTMSpace(n_layers=5, input_dim=5, output_dim=5,
-                             operations=default_operations())
-    evaluator = SurrogateEvaluator(
-        space, ArchitecturePerformanceModel(space, seed=args.seed))
+    if args.benchmark is not None:
+        from repro.nas import BenchmarkEvaluator
+        try:
+            evaluator = BenchmarkEvaluator(args.benchmark)
+        except (OSError, ValueError) as exc:
+            print(f"error: --benchmark archive rejected: {exc}",
+                  file=sys.stderr)
+            return 2
+        space = evaluator.space
+        print(f"benchmark archive: {args.benchmark} "
+              f"({evaluator.archive.n_records} records, "
+              f"digest {evaluator.digest[:12]})")
+    else:
+        space = StackedLSTMSpace(n_layers=5, input_dim=5, output_dim=5,
+                                 operations=default_operations())
+        evaluator = SurrogateEvaluator(
+            space, ArchitecturePerformanceModel(space, seed=args.seed))
     checkpoint = None
     if args.checkpoint is not None:
         checkpoint = CheckpointPolicy(args.checkpoint,
@@ -252,6 +285,160 @@ def search_main(argv: list[str]) -> int:
     print(f"best reward:           {algorithm.best_reward:.4f}")
     if algorithm.best_architecture is not None:
         print(f"best architecture:     {algorithm.best_architecture}")
+    if args.obs:
+        print()
+        print(obs.summary())
+    return 0
+
+
+def _benchmark_space(name: str, seed: int):
+    """Named search spaces of ``repro benchmark build``."""
+    from repro.nas.space.ops import Operation, default_operations
+    from repro.nas.space.search_space import StackedLSTMSpace
+    if name == "small":
+        # 512 architectures: exhaustively archivable in < 1 s, matched to
+        # the test/smoke space so campaigns are 100% table hits.
+        return StackedLSTMSpace(
+            3, input_dim=3, output_dim=3,
+            operations=(Operation("identity"), Operation("lstm", 4),
+                        Operation("lstm", 8), Operation("lstm", 12)),
+            max_skip_depth=3)
+    return StackedLSTMSpace(n_layers=5, input_dim=5, output_dim=5,
+                            operations=default_operations())
+
+
+def benchmark_main(argv: list[str]) -> int:
+    """``repro benchmark`` — build, inspect and sweep tabular NAS
+    benchmark archives (docs/NAS_BENCHMARK.md)."""
+    parser = argparse.ArgumentParser(
+        prog="repro benchmark",
+        description="Tabular NAS benchmark backend: precompute an archive "
+                    "of architecture evaluations, inspect it, or run "
+                    "multi-seed search sweeps against it.")
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    build = sub.add_parser(
+        "build", help="sweep a space through the performance model and "
+                      "write an archive")
+    build.add_argument("--space", choices=("small", "paper"),
+                       default="small",
+                       help="search space: 'small' (512 archs, exhaustive) "
+                            "or 'paper' (8.6M archs, requires --samples)")
+    build.add_argument("--samples", type=int, default=None, metavar="N",
+                       help="archive N distinct uniform samples instead of "
+                            "the whole space")
+    build.add_argument("--seed", type=int, default=0, metavar="S",
+                       help="seeds the performance model and any sampling "
+                            "(default: 0)")
+    build.add_argument("--epochs", type=int, default=20, metavar="E",
+                       help="training budget of the recorded evaluations "
+                            "(default: 20)")
+    build.add_argument("--out", default="nas-benchmark.npz", metavar="PATH",
+                       help="archive path (default: nas-benchmark.npz)")
+
+    info = sub.add_parser("info", help="print an archive's header")
+    info.add_argument("archive", help="archive path")
+
+    sweep = sub.add_parser(
+        "sweep", help="repeat a search campaign across seeds against an "
+                      "archive and report best-reward statistics")
+    sweep.add_argument("--archive", required=True, metavar="PATH",
+                       help="archive to evaluate from")
+    sweep.add_argument("--algorithm", choices=("rs", "ae", "rl"),
+                       default="rs",
+                       help="search algorithm per campaign (default: rs)")
+    sweep.add_argument("--evaluations", type=int, default=200, metavar="N",
+                       help="evaluation budget per campaign (default: 200)")
+    sweep.add_argument("--seeds", type=int, default=10, metavar="K",
+                       help="number of campaigns (default: 10)")
+    sweep.add_argument("--base-seed", type=int, default=0, metavar="S",
+                       dest="base_seed",
+                       help="campaign i uses seed S+i (default: 0)")
+    sweep.add_argument("--surrogate", choices=("ridge", "knn"),
+                       default="ridge",
+                       help="off-table fallback model (default: ridge)")
+    sweep.add_argument("--report", default=None, metavar="PATH",
+                       help="write the sweep report JSON here")
+    sweep.add_argument("--obs", action="store_true",
+                       help="enable observability and print its summary "
+                            "(includes the nas/benchmark/* hit counters)")
+    args = parser.parse_args(argv)
+
+    if args.action == "build":
+        from repro.nas import ArchitecturePerformanceModel, build_archive
+        space = _benchmark_space(args.space, args.seed)
+        model = ArchitecturePerformanceModel(space, seed=args.seed)
+        n = args.samples if args.samples is not None else space.size
+        print(f"building archive: {args.space} space "
+              f"({space.size} architectures, recording {n})...")
+        try:
+            path = build_archive(space, model, args.out,
+                                 n_samples=args.samples, rng=args.seed,
+                                 epochs=args.epochs,
+                                 metadata={"space_preset": args.space,
+                                           "model_seed": args.seed})
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+        return 0
+
+    if args.action == "info":
+        from repro.nas import read_archive_header
+        try:
+            header = read_archive_header(args.archive)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cfg = header["space"]
+        print(f"archive:   {args.archive}")
+        print(f"format:    {header['format']} v{header['version']}")
+        print(f"records:   {header['n_records']} "
+              f"({header['fidelity']} fidelity, "
+              f"{header['epochs']} epochs)")
+        print(f"space:     {cfg['n_layers']} layers, "
+              f"{len(cfg['operations'])} ops, "
+              f"skip depth {cfg['max_skip_depth']}")
+        print(f"noise:     {header['noise']}")
+        print(f"digest:    {header['digest']}")
+        if header.get("metadata"):
+            print(f"metadata:  {header['metadata']}")
+        return 0
+
+    from repro import obs
+    from repro.nas import BenchmarkEvaluator, run_seed_sweep
+    if args.evaluations < 1:
+        parser.error(f"--evaluations must be >= 1, got {args.evaluations}")
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1, got {args.seeds}")
+    if args.obs:
+        obs.enable()
+    try:
+        evaluator = BenchmarkEvaluator(args.archive,
+                                       surrogate=args.surrogate)
+    except (OSError, ValueError) as exc:
+        print(f"error: --archive rejected: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep: {args.seeds} x {args.algorithm} campaigns, "
+          f"{args.evaluations} evaluations each, from {args.archive} "
+          f"({evaluator.archive.n_records} records)")
+    report = run_seed_sweep(evaluator, algorithm=args.algorithm,
+                            n_evaluations=args.evaluations,
+                            n_seeds=args.seeds, base_seed=args.base_seed)
+    stats = report["best_reward"]
+    hits = sum(c["table_hits"] for c in report["campaigns"])
+    misses = sum(c["surrogate_misses"] for c in report["campaigns"])
+    print(f"best reward: mean {stats['mean']:.4f} "
+          f"+- {stats['std']:.4f} "
+          f"(min {stats['min']:.4f}, max {stats['max']:.4f})")
+    if hits or misses:
+        print(f"table hits:  {hits}, surrogate misses: {misses}")
+    print(f"total wall:  {report['total_wall_seconds']:.3f}s")
+    if args.report is not None:
+        import json as _json
+        with open(args.report, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2)
+        print(f"wrote {args.report}")
     if args.obs:
         print()
         print(obs.summary())
@@ -458,6 +645,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "search":
         return search_main(argv[1:])
+    if argv and argv[0] == "benchmark":
+        return benchmark_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -467,15 +656,16 @@ def main(argv: list[str] | None = None) -> int:
         epilog="Additional subcommands: 'repro bench' runs the core "
                "microbenchmark suite and writes BENCH_core.json; "
                "'repro search' runs one NAS search, optionally on a "
-               "process pool via --workers; 'repro serve' publishes "
-               "emulator bundles and load-tests the micro-batching "
-               "forecast engine (see their --help).")
+               "process pool via --workers; 'repro benchmark' builds and "
+               "sweeps tabular NAS benchmark archives; 'repro serve' "
+               "publishes emulator bundles and load-tests the "
+               "micro-batching forecast engine (see their --help).")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list",
-                                                       "bench", "search",
-                                                       "serve"],
+                                                       "bench", "benchmark",
+                                                       "search", "serve"],
                         help="experiment id, 'all', 'list', 'bench', "
-                             "'search', or 'serve'")
+                             "'benchmark', 'search', or 'serve'")
     parser.add_argument("--preset", choices=("quick", "full"),
                         default="quick",
                         help="training/search budgets (default: quick)")

@@ -87,9 +87,25 @@ def _resolve_backend(evaluator: Evaluator,
     return evaluation_backend(evaluator, workers), True
 
 
+def _evaluator_identity(evaluator: Evaluator) -> dict | None:
+    """What a campaign checkpoint records about the evaluation backend.
+
+    Evaluators that represent external state — e.g. a
+    :class:`~repro.nas.benchmark.BenchmarkEvaluator` bound to an archive
+    file by content digest — expose ``checkpoint_identity()``; a resume
+    must then present an evaluator with the same identity, so a campaign
+    can never silently continue against a different benchmark. Evaluators
+    without the hook (surrogate, real training) record ``None`` and skip
+    the check, exactly as all pre-existing checkpoints do.
+    """
+    identity = getattr(evaluator, "checkpoint_identity", None)
+    return identity() if callable(identity) else None
+
+
 def _check_resume_state(resume_state: dict | None, mode: str,
                         partition: ThetaPartition,
-                        uses_backend: bool) -> dict | None:
+                        uses_backend: bool,
+                        evaluator: Evaluator) -> dict | None:
     if resume_state is None:
         return None
     if resume_state.get("format") != CAMPAIGN_FORMAT:
@@ -113,6 +129,16 @@ def _check_resume_state(resume_state: dict | None, mode: str,
         raise ValueError(
             "checkpoint evaluation mode (backend vs in-loop) does not "
             "match this invocation; resume with the same --workers choice")
+    saved_identity = resume_state.get("evaluator")
+    if saved_identity is not None:
+        identity = _evaluator_identity(evaluator)
+        if identity != saved_identity:
+            raise ValueError(
+                f"checkpoint was written against evaluator "
+                f"{saved_identity!r} but this invocation provides "
+                f"{identity!r}; resuming would continue a different "
+                f"experiment (for benchmark campaigns: same archive, "
+                f"same epochs, same surrogate mode)")
     return resume_state
 
 
@@ -286,7 +312,8 @@ def run_asynchronous_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
             "run_synchronous_rl_search")
     backend, owned = _resolve_backend(evaluator, backend, workers)
     resume_state = _check_resume_state(resume_state, "asynchronous",
-                                       partition, backend is not None)
+                                       partition, backend is not None,
+                                       evaluator)
     cluster = cluster or ClusterConfig()
     queue = EventQueue()
 
@@ -324,6 +351,7 @@ def run_asynchronous_search(algorithm: SearchAlgorithm, evaluator: Evaluator,
                           "wall_seconds": partition.wall_seconds},
             "cluster": asdict(cluster),
             "uses_backend": feed is not None,
+            "evaluator": _evaluator_identity(evaluator),
             "task_root": (sequence_state(task_root)
                           if task_root is not None else None),
             "feed": feed.state_dict() if feed is not None else None,
@@ -401,7 +429,8 @@ def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
             f"{alloc.workers_per_agent}")
     backend, owned = _resolve_backend(evaluator, backend, workers)
     resume_state = _check_resume_state(resume_state, "synchronous_rl",
-                                       partition, backend is not None)
+                                       partition, backend is not None,
+                                       evaluator)
     cluster = cluster or ClusterConfig()
     queue = EventQueue()
 
@@ -437,6 +466,7 @@ def run_synchronous_rl_search(algorithm: DistributedRL, evaluator: Evaluator,
                           "wall_seconds": partition.wall_seconds},
             "cluster": asdict(cluster),
             "uses_backend": feed is not None,
+            "evaluator": _evaluator_identity(evaluator),
             "task_root": (sequence_state(task_root)
                           if task_root is not None else None),
             "feed": feed.state_dict() if feed is not None else None,

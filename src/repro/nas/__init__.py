@@ -8,7 +8,10 @@ Subpackages:
   reinforcement learning, and random search (paper Sec. III-B);
 * :mod:`repro.nas.evaluation` — real-training and surrogate evaluators;
 * :mod:`repro.nas.surrogate` — the calibrated architecture quality/cost
-  model that stands in for single-node Theta trainings at scale.
+  model that stands in for single-node Theta trainings at scale;
+* :mod:`repro.nas.benchmark` — tabular NAS benchmark archives
+  (precomputed evaluation tables + surrogate-fit fallback,
+  docs/NAS_BENCHMARK.md).
 """
 
 from repro.nas.space import Architecture, Operation, StackedLSTMSpace
@@ -27,6 +30,18 @@ from repro.nas.evaluation import (
     SurrogateEvaluator,
 )
 from repro.nas.surrogate import ArchitecturePerformanceModel
+from repro.nas.benchmark import (
+    ARCHIVE_FORMAT,
+    ARCHIVE_VERSION,
+    ArchitectureArchive,
+    BenchmarkEvaluator,
+    build_archive,
+    load_archive,
+    read_archive_header,
+    run_benchmark_campaign,
+    run_seed_sweep,
+    validate_sweep_report,
+)
 from repro.nas.checkpoint import (
     CheckpointPolicy,
     load_checkpoint,
@@ -51,6 +66,16 @@ __all__ = [
     "RealTrainingEvaluator",
     "SurrogateEvaluator",
     "ArchitecturePerformanceModel",
+    "ARCHIVE_FORMAT",
+    "ARCHIVE_VERSION",
+    "ArchitectureArchive",
+    "BenchmarkEvaluator",
+    "build_archive",
+    "load_archive",
+    "read_archive_header",
+    "run_benchmark_campaign",
+    "run_seed_sweep",
+    "validate_sweep_report",
     "search_state",
     "save_search",
     "restore_search",

@@ -1,0 +1,98 @@
+"""Shared ``.npz`` artifact machinery: JSON header + atomic publication.
+
+Both the emulator bundles (:mod:`repro.serve.bundle`) and the NAS
+benchmark archives (:mod:`repro.nas.benchmark`) are single-file ``.npz``
+artifacts: plain NumPy arrays plus one JSON header embedded as a uint8
+array under a reserved key — pickle-free, portable, inspectable with
+nothing but ``numpy`` and ``json``. This module is the one definition of
+that discipline so every artifact family shares the same guarantees:
+
+* **Versioned headers.** Every header carries ``format`` and ``version``
+  keys; readers accept exactly the versions they can decode and reject
+  anything else loudly (:func:`check_artifact_header`) — a newer writer's
+  file fails with a diagnosis, never by deserializing garbage.
+* **Atomic writes.** :func:`write_npz_artifact` lands the bytes in a
+  ``.tmp`` sibling, fsyncs, then ``os.replace``s over the target — the
+  same crash discipline as :func:`repro.nas.checkpoint.atomic_write_json`
+  and :class:`~repro.serve.registry.ModelRegistry`: a kill at any instant
+  leaves either the previous artifact or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.serialization import _npz_path
+
+__all__ = ["write_npz_artifact", "read_npz_artifact_header",
+           "check_artifact_header", "load_npz_artifact"]
+
+
+def write_npz_artifact(path, header: dict, arrays: dict, *,
+                       key: str) -> Path:
+    """Atomically write ``arrays`` + JSON ``header`` (under ``key``) as one
+    ``.npz`` artifact at ``path`` (suffix normalized). Returns the path the
+    archive actually lives at."""
+    if key in arrays:
+        raise ValueError(f"array name {key!r} collides with the header key")
+    target = _npz_path(path)
+    tmp = target.with_name(target.name + ".tmp.npz")
+    header_bytes = np.frombuffer(json.dumps(header).encode("utf-8"),
+                                 dtype=np.uint8)
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **{key: header_bytes}, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    return target
+
+
+def check_artifact_header(header: dict, source, *, expected_format: str,
+                          supported_versions: tuple[int, ...],
+                          describe: str) -> dict:
+    """Validate format/version of a decoded header; raises ValueError with
+    a diagnosis naming ``source`` otherwise. ``describe`` is the artifact
+    family for the message ("an emulator bundle", "a NAS benchmark
+    archive", ...)."""
+    if header.get("format") != expected_format:
+        raise ValueError(f"{source}: not {describe} "
+                         f"(format {header.get('format')!r})")
+    version = header.get("version")
+    if version not in supported_versions:
+        supported = ", ".join(str(v) for v in supported_versions)
+        raise ValueError(
+            f"{source}: unsupported {describe.split()[-1]} schema version "
+            f"{version!r} (this reader supports version {supported})")
+    return header
+
+
+def read_npz_artifact_header(archive, source, *, key: str,
+                             expected_format: str,
+                             supported_versions: tuple[int, ...],
+                             describe: str) -> dict:
+    """Decode + validate the JSON header of an opened ``np.load`` archive."""
+    if key not in archive.files:
+        raise ValueError(f"{source}: not {describe} "
+                         f"(missing {key} header)")
+    header = json.loads(bytes(archive[key].tobytes()).decode("utf-8"))
+    return check_artifact_header(header, source,
+                                 expected_format=expected_format,
+                                 supported_versions=supported_versions,
+                                 describe=describe)
+
+
+def load_npz_artifact(path, *, key: str, expected_format: str,
+                      supported_versions: tuple[int, ...],
+                      describe: str) -> tuple[dict, dict]:
+    """Read one artifact fully into memory as ``(header, arrays)``."""
+    with np.load(_npz_path(path)) as archive:
+        header = read_npz_artifact_header(
+            archive, path, key=key, expected_format=expected_format,
+            supported_versions=supported_versions, describe=describe)
+        arrays = {name: archive[name] for name in archive.files
+                  if name != key}
+    return header, arrays

@@ -26,7 +26,6 @@ writer's artifact fails loudly instead of deserializing garbage.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
@@ -34,6 +33,7 @@ import numpy as np
 from repro.forecast.pipeline import PODCoefficientPipeline
 from repro.forecast.pod_lstm import PODLSTMEmulator
 from repro.nn.serialization import _npz_path, network_from_spec, network_spec
+from repro.serve.artifact import read_npz_artifact_header, write_npz_artifact
 
 __all__ = ["BUNDLE_FORMAT", "BUNDLE_VERSION", "save_bundle", "load_bundle",
            "read_bundle_header"]
@@ -44,6 +44,9 @@ BUNDLE_FORMAT = "repro-emulator-bundle"
 #: Current bundle schema version. Loaders accept exactly the versions
 #: they know how to decode; anything else is an error.
 BUNDLE_VERSION = 1
+
+#: Reserved array name carrying the JSON header inside the ``.npz``.
+_HEADER_KEY = "__bundle__"
 
 
 def save_bundle(emulator: PODLSTMEmulator, path, *,
@@ -64,27 +67,14 @@ def save_bundle(emulator: PODLSTMEmulator, path, *,
               "metadata": dict(metadata or {})}
     arrays = {f"net_w{i}": w for i, w in enumerate(network.get_weights())}
     arrays.update(pipeline_arrays)
-    target = _npz_path(path)
-    np.savez(target, __bundle__=np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
-    return target
+    return write_npz_artifact(path, header, arrays, key=_HEADER_KEY)
 
 
 def _decode_header(archive, path) -> dict:
-    if "__bundle__" not in archive.files:
-        raise ValueError(f"{path}: not an emulator bundle "
-                         f"(missing __bundle__ header)")
-    header = json.loads(bytes(archive["__bundle__"].tobytes())
-                        .decode("utf-8"))
-    if header.get("format") != BUNDLE_FORMAT:
-        raise ValueError(f"{path}: not an emulator bundle "
-                         f"(format {header.get('format')!r})")
-    version = header.get("version")
-    if version != BUNDLE_VERSION:
-        raise ValueError(
-            f"{path}: unsupported bundle schema version {version!r} "
-            f"(this reader supports version {BUNDLE_VERSION})")
-    return header
+    return read_npz_artifact_header(
+        archive, path, key=_HEADER_KEY, expected_format=BUNDLE_FORMAT,
+        supported_versions=(BUNDLE_VERSION,),
+        describe="an emulator bundle")
 
 
 def read_bundle_header(path) -> dict:

@@ -69,6 +69,30 @@ class TestCompareBench:
         with pytest.raises(ValueError, match="JSON object"):
             load_bench_file(nondict)
 
+    @pytest.mark.parametrize("mean_s", [0.0, -1.0, 0, "fast", None, True])
+    def test_load_bench_file_rejects_invalid_mean(self, tmp_path, mean_s):
+        path = tmp_path / "bad_mean.json"
+        path.write_text(json.dumps({"poisoned": _entry(mean_s)}))
+        with pytest.raises(ValueError, match="poisoned.*mean_s"):
+            load_bench_file(path)
+
+    @pytest.mark.parametrize("literal", ["NaN", "Infinity", "-Infinity"])
+    def test_load_bench_file_rejects_nonfinite_mean(self, tmp_path,
+                                                    literal):
+        # json.load happily parses these literals; the validator must not.
+        path = tmp_path / "nonfinite.json"
+        path.write_text('{"poisoned": {"mean_s": %s}}' % literal)
+        with pytest.raises(ValueError, match="poisoned.*mean_s"):
+            load_bench_file(path)
+
+    @pytest.mark.parametrize("old,new", [(0.0, 1.0), (1.0, 0.0)])
+    def test_zero_mean_row_raises_value_error_not_zero_division(self, old,
+                                                                new):
+        # Regression: ComparisonRow.delta/speedup used to raise a bare
+        # ZeroDivisionError when either mean was 0.
+        with pytest.raises(ValueError, match="mean_s"):
+            compare_bench({"a": _entry(old)}, {"a": _entry(new)})
+
 
 class TestCompareCLI:
     def _run_compare(self, tmp_path, capsys, old_mean):
@@ -91,3 +115,34 @@ class TestCompareCLI:
         code, out = self._run_compare(tmp_path, capsys, old_mean=1e-9)
         assert code == 1
         assert "REGRESSED" in out
+
+    @pytest.mark.parametrize("payload", [
+        {"pod_basis": {"mean_s": 0.0, "std_s": 0.0, "reps": 3,
+                       "metadata": {}}},
+        {"pod_basis": {"mean_s": float("nan"), "std_s": 0.0, "reps": 3,
+                       "metadata": {}}},
+    ])
+    def test_invalid_baseline_exits_2_before_running(self, tmp_path,
+                                                     capsys, payload):
+        # A zero/NaN-mean baseline must be refused with a typed error and
+        # exit code 2 *before* any benchmark is timed — not crash with a
+        # ZeroDivisionError traceback after the run.
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(payload))
+        out_path = tmp_path / "new.json"
+        code = main(["bench", "--quick", "--reps", "1", "--filter",
+                     "pod_basis", "--workers", "0",
+                     "--out", str(out_path), "--compare", str(old)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--compare baseline rejected" in captured.err
+        assert "mean_s" in captured.err
+        assert not out_path.exists()  # rejected before the suite ran
+
+    def test_missing_baseline_file_exits_2(self, tmp_path, capsys):
+        code = main(["bench", "--quick", "--reps", "1", "--filter",
+                     "pod_basis", "--workers", "0",
+                     "--out", str(tmp_path / "new.json"),
+                     "--compare", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "--compare baseline rejected" in capsys.readouterr().err
