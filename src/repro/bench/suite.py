@@ -482,9 +482,56 @@ def _serve_router_benchmark(workers: int) -> Benchmark:
                               "dispatch, multi-process overlap)"})
 
 
+def _pipeline_cycle_benchmark() -> Benchmark:
+    """One full continuous-learning cycle — ingest a weekly batch, fold
+    it into the incremental POD basis, retrain the emulator and run the
+    promotion gate — the end-to-end cost of `repro pipeline run` per
+    retraining batch."""
+    batch_weeks = 6
+
+    def make():
+        import tempfile
+        from pathlib import Path
+
+        from repro.pipeline import (
+            ContinuousPipeline,
+            FeedConfig,
+            PipelineConfig,
+        )
+        from repro.serve import ModelRegistry
+        tmpdir = tempfile.mkdtemp(prefix="repro-bench-pipeline-")
+        feed = FeedConfig(degrees=20.0, seed=0, batch_weeks=batch_weeks)
+        config = PipelineConfig(n_modes=3, pod_rank=6, window=4,
+                                retrain_every=1, train_weeks=36,
+                                val_weeks=12, epochs=1, batch_size=32,
+                                lstm_units=8)
+        service = ContinuousPipeline(
+            Path(tmpdir) / "state", ModelRegistry(Path(tmpdir) / "reg"),
+            feed, config)
+        # Pre-ingest past train+val depth so every timed cycle retrains
+        # (the feed is unbounded; repetitions keep advancing the stream).
+        while (service.state.snapshots_ingested
+               < config.train_weeks + config.val_weeks):
+            service.run(max_batches=1)
+
+        def run():
+            service.run(max_batches=1)
+        return run
+
+    return Benchmark(
+        name="pipeline_cycle",
+        make=make,
+        metadata={"degrees": 20.0, "batch_weeks": batch_weeks,
+                  "train_weeks": 36, "val_weeks": 12, "epochs": 1,
+                  "measures": "one continuous-learning batch: incremental "
+                              "POD fold, rolling emulator retrain, "
+                              "validation-gated promotion and the atomic "
+                              "state save"})
+
+
 def default_suite(quick: bool = True, *,
                   max_workers: int = 4) -> list[Benchmark]:
-    """The BENCH_core.json suite (21 benchmarks quick, 24 full).
+    """The BENCH_core.json suite (22 benchmarks quick, 25 full).
 
     ``max_workers`` caps the pool sizes of the serial-vs-pool throughput
     benchmarks (``repro bench --workers``); 0 drops them entirely.
@@ -507,4 +554,5 @@ def default_suite(quick: bool = True, *,
     suite.append(_serve_throughput_benchmark())
     suite.append(_serve_router_benchmark(1))
     suite.append(_serve_router_benchmark(4))
+    suite.append(_pipeline_cycle_benchmark())
     return suite

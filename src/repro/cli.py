@@ -17,6 +17,8 @@ Usage::
     python -m repro serve --registry reg --train-demo v1
     python -m repro serve --registry reg --loadgen --report slo.json
     python -m repro serve --registry reg --router --workers 4 --loadgen
+    python -m repro pipeline run --state pipe --registry reg --weeks 144
+    python -m repro pipeline status --state pipe --registry reg --json
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ import sys
 import time
 from typing import Callable
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "SUBCOMMANDS"]
 
 
 def _lazy(module: str) -> Callable[[str], object]:
@@ -561,14 +563,7 @@ def serve_main(argv: list[str]) -> int:
         acted = True
 
     if args.status or not (acted or args.loadgen or args.router):
-        versions = registry.versions()
-        active = registry.active()
-        print(f"registry {registry.root}")
-        if not versions:
-            print("  (no versions published)")
-        for name in versions:
-            marker = " *active*" if name == active else ""
-            print(f"  {name}{marker}")
+        print(registry.report())
         acted = True
 
     if args.router:
@@ -638,17 +633,182 @@ def serve_main(argv: list[str]) -> int:
     return 0
 
 
+def pipeline_main(argv: list[str]) -> int:
+    """``repro pipeline`` — run or inspect the continuous-learning
+    pipeline (docs/PIPELINE.md)."""
+    parser = argparse.ArgumentParser(
+        prog="repro pipeline",
+        description="Continuous learning: ingest weekly SST batches into "
+                    "an incremental POD basis, retrain the emulator on a "
+                    "rolling window and auto-promote improvements into a "
+                    "model registry (see docs/PIPELINE.md).")
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run = sub.add_parser(
+        "run", help="ingest batches (resumes from --state if it exists)")
+    run.add_argument("--state", required=True, metavar="PATH",
+                     help="durable pipeline state artifact (.npz); if it "
+                          "already exists the pipeline RESUMES from it and "
+                          "all feed/protocol flags below are ignored")
+    run.add_argument("--registry", required=True, metavar="DIR",
+                     help="model registry directory receiving promotions")
+    run.add_argument("--max-batches", type=int, default=None, metavar="N",
+                     dest="max_batches",
+                     help="stop after N batches (default: drain a bounded "
+                          "feed; required for an unbounded one)")
+    run.add_argument("--obs", action="store_true",
+                     help="enable observability and print its summary "
+                          "(includes the pipeline/* metrics)")
+    feed = run.add_argument_group("feed (fresh pipelines only)")
+    feed.add_argument("--degrees", type=float, default=12.0,
+                      help="grid resolution in degrees (default: 12)")
+    feed.add_argument("--feed-seed", type=int, default=0, metavar="S",
+                      dest="feed_seed",
+                      help="snapshot stream seed (default: 0)")
+    feed.add_argument("--batch-weeks", type=int, default=4, metavar="W",
+                      dest="batch_weeks",
+                      help="snapshots per arriving batch (default: 4)")
+    feed.add_argument("--weeks", type=int, default=None, metavar="N",
+                      help="stream length; omit for an unbounded feed "
+                           "(then --max-batches is required)")
+    feed.add_argument("--scenario", default="none",
+                      choices=("none", "enso_shift", "trend_acceleration"),
+                      help="climate drift scenario (default: none)")
+    feed.add_argument("--onset", type=int, default=430, metavar="WEEK",
+                      help="drift onset week (default: 430)")
+    feed.add_argument("--ramp", type=int, default=104, metavar="WEEKS",
+                      help="drift ramp-in length (default: 104)")
+    feed.add_argument("--strength", type=float, default=1.0,
+                      help="drift strength multiplier (default: 1.0)")
+    proto = run.add_argument_group("retraining protocol (fresh only)")
+    proto.add_argument("--n-modes", type=int, default=4, metavar="N",
+                       dest="n_modes",
+                       help="emulator POD rank (default: 4)")
+    proto.add_argument("--pod-rank", type=int, default=8, metavar="R",
+                       dest="pod_rank",
+                       help="incremental factorization rank (default: 8)")
+    proto.add_argument("--window", type=int, default=4, metavar="K",
+                       help="forecast window length (default: 4)")
+    proto.add_argument("--retrain-every", type=int, default=4, metavar="B",
+                       dest="retrain_every",
+                       help="batches between retrains (default: 4)")
+    proto.add_argument("--train-weeks", type=int, default=96, metavar="W",
+                       dest="train_weeks",
+                       help="trailing training window (default: 96)")
+    proto.add_argument("--val-weeks", type=int, default=24, metavar="W",
+                       dest="val_weeks",
+                       help="held-out validation window (default: 24)")
+    proto.add_argument("--epochs", type=int, default=2,
+                       help="training epochs per retrain (default: 2)")
+    proto.add_argument("--batch-size", type=int, default=32, metavar="N",
+                       dest="batch_size",
+                       help="training batch size (default: 32)")
+    proto.add_argument("--learning-rate", type=float, default=0.003,
+                       metavar="LR", dest="learning_rate",
+                       help="Adam learning rate (default: 0.003)")
+    proto.add_argument("--units", type=int, default=16, metavar="N",
+                       help="LSTM width of the retrained stack "
+                            "(default: 16)")
+    proto.add_argument("--seed", type=int, default=0, metavar="S",
+                       help="retrain RNG stream root (default: 0)")
+    proto.add_argument("--forgetting", type=float, default=1.0,
+                       metavar="F",
+                       help="incremental-POD forgetting factor in (0, 1] "
+                            "(default: 1.0)")
+
+    status = sub.add_parser(
+        "status", help="print stream position, counters, the registry "
+                       "listing and the promotion decision history")
+    status.add_argument("--state", required=True, metavar="PATH",
+                        help="pipeline state artifact to inspect")
+    status.add_argument("--registry", required=True, metavar="DIR",
+                        help="model registry the pipeline publishes to")
+    status.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable status document "
+                             "instead of the human-readable report")
+    args = parser.parse_args(argv)
+
+    from repro import obs
+    from repro.pipeline import ContinuousPipeline, FeedConfig, \
+        PipelineConfig
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+
+    if args.action == "status":
+        try:
+            pipeline = ContinuousPipeline.resume(args.state, registry)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            import json as _json
+            print(_json.dumps(pipeline.status(), indent=2))
+        else:
+            print(pipeline.report())
+        return 0
+
+    if getattr(args, "obs", False):
+        obs.enable()
+    try:
+        feed_config = FeedConfig(
+            degrees=args.degrees, seed=args.feed_seed,
+            batch_weeks=args.batch_weeks, n_weeks=args.weeks,
+            scenario=args.scenario, scenario_onset_week=args.onset,
+            scenario_ramp_weeks=args.ramp,
+            scenario_strength=args.strength)
+        config = PipelineConfig(
+            n_modes=args.n_modes, pod_rank=args.pod_rank,
+            window=args.window, retrain_every=args.retrain_every,
+            train_weeks=args.train_weeks, val_weeks=args.val_weeks,
+            epochs=args.epochs, batch_size=args.batch_size,
+            learning_rate=args.learning_rate, lstm_units=args.units,
+            seed=args.seed, forgetting=args.forgetting)
+        from pathlib import Path as _Path
+        state_path = _Path(args.state)
+        if state_path.exists() or state_path.with_suffix(".npz").exists():
+            pipeline = ContinuousPipeline.resume(args.state, registry)
+            print(f"resuming pipeline from {args.state} "
+                  f"(batch {pipeline.state.next_batch})")
+        else:
+            pipeline = ContinuousPipeline(args.state, registry,
+                                          feed_config, config)
+            print(f"starting fresh pipeline at {args.state}")
+        decisions = pipeline.run(max_batches=args.max_batches)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    state = pipeline.state
+    print(f"ingested through batch {state.next_batch} "
+          f"({state.snapshots_ingested} weeks, basis version "
+          f"{state.pod.basis_version})")
+    for d in decisions:
+        outcome = "promoted" if d.promoted else "rejected"
+        print(f"  retrain {d.retrain_index}: {d.version} "
+              f"rmse {d.candidate_rmse:.6f} -> {outcome} ({d.reason})")
+    active = registry.active()
+    print(f"active version: {active if active is not None else '(none)'}")
+    if getattr(args, "obs", False):
+        print()
+        print(obs.summary())
+    return 0
+
+
+#: Non-experiment subcommands: name -> entry point taking its own argv.
+SUBCOMMANDS: dict[str, Callable[[list[str]], int]] = {
+    "bench": bench_main,
+    "search": search_main,
+    "benchmark": benchmark_main,
+    "serve": serve_main,
+    "pipeline": pipeline_main,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "bench":
-        return bench_main(argv[1:])
-    if argv and argv[0] == "search":
-        return search_main(argv[1:])
-    if argv and argv[0] == "benchmark":
-        return benchmark_main(argv[1:])
-    if argv and argv[0] == "serve":
-        return serve_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the SC 2020 POD-LSTM "
@@ -659,13 +819,15 @@ def main(argv: list[str] | None = None) -> int:
                "process pool via --workers; 'repro benchmark' builds and "
                "sweeps tabular NAS benchmark archives; 'repro serve' "
                "publishes emulator bundles and load-tests the "
-               "micro-batching forecast engine (see their --help).")
+               "micro-batching forecast engine; 'repro pipeline' runs "
+               "the continuous-learning ingest/retrain/promote loop "
+               "(see their --help).")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "list",
-                                                       "bench", "benchmark",
-                                                       "search", "serve"],
-                        help="experiment id, 'all', 'list', 'bench', "
-                             "'benchmark', 'search', or 'serve'")
+                        choices=sorted(EXPERIMENTS) + ["all", "list"]
+                        + sorted(SUBCOMMANDS),
+                        help="experiment id, 'all', 'list', or a "
+                             "subcommand: " + ", ".join(
+                                 repr(s) for s in sorted(SUBCOMMANDS)))
     parser.add_argument("--preset", choices=("quick", "full"),
                         default="quick",
                         help="training/search budgets (default: quick)")

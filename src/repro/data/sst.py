@@ -24,6 +24,24 @@ Snapshots are randomly accessible and bit-reproducible: the eddy AR(1)
 process is expressed as a truncated moving average over per-timestep noise
 fields keyed by ``(seed, t)``, so ``field(t)`` never depends on what else
 was generated.
+
+Drift scenarios (``SSTConfig.scenario``) superimpose a structural change
+on the archive after a configurable onset week, for exercising
+continuous-learning promotion decisions (docs/PIPELINE.md):
+
+* ``"enso_shift"`` — an ENSO regime shift: the Eastern-Pacific ENSO arm
+  intensifies (a variance change in the retained modes) and a standing
+  warm anomaly builds over the Nino region (a mean change), ramping in
+  over ``scenario_ramp_weeks``;
+* ``"trend_acceleration"`` — the secular warming *rate* itself grows
+  after onset, so the trend offset departs quadratically from the
+  pre-onset extrapolation.
+
+``scenario="none"`` (the default) leaves the generator's numerics
+untouched — the scenario term is never evaluated, so the no-drift
+archive stays bitwise identical to pre-scenario releases (golden
+digests in tests/test_sst_generator.py pin both this and the drifted
+fields).
 """
 
 from __future__ import annotations
@@ -36,7 +54,11 @@ from scipy import ndimage
 from repro.data.grid import LatLonGrid
 from repro.data.mask import synthetic_land_mask
 
-__all__ = ["SSTConfig", "SyntheticSST"]
+__all__ = ["DRIFT_SCENARIOS", "SSTConfig", "SyntheticSST"]
+
+#: Structural-drift scenarios the generator can superimpose after
+#: ``scenario_onset_week`` (``"none"`` disables the machinery entirely).
+DRIFT_SCENARIOS = ("none", "enso_shift", "trend_acceleration")
 
 #: Mean tropical year expressed in weeks — the seasonal angular frequency.
 WEEKS_PER_YEAR = 365.2425 / 7.0
@@ -71,12 +93,28 @@ class SSTConfig:
     eddy_rho: float = 0.65          # AR(1) memory of the eddy field
     eddy_smooth_cells: float = 2.0  # spatial correlation length (grid cells)
     eddy_truncation: int = 24       # MA truncation: rho^24 ~ 3e-5
+    # Structural drift (see module docstring / DRIFT_SCENARIOS). The
+    # scenario term is additive and strictly gated: with "none" the
+    # generator's arithmetic is exactly the historical no-drift path.
+    scenario: str = "none"
+    scenario_onset_week: int = 430       # first drifting week
+    scenario_ramp_weeks: int = 104       # enso_shift ramp-in length
+    scenario_strength: float = 1.0       # overall drift amplitude scale
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.eddy_rho < 1.0:
             raise ValueError(f"eddy_rho must be in [0, 1), got {self.eddy_rho}")
         if self.eddy_truncation < 1:
             raise ValueError("eddy_truncation must be >= 1")
+        if self.scenario not in DRIFT_SCENARIOS:
+            raise ValueError(f"unknown scenario {self.scenario!r}; "
+                             f"expected one of {DRIFT_SCENARIOS}")
+        if self.scenario_onset_week < 0:
+            raise ValueError("scenario_onset_week must be >= 0, "
+                             f"got {self.scenario_onset_week}")
+        if self.scenario_ramp_weeks < 1:
+            raise ValueError("scenario_ramp_weeks must be >= 1, "
+                             f"got {self.scenario_ramp_weeks}")
 
 
 @dataclass
@@ -345,6 +383,40 @@ class SyntheticSST:
         return float(self._weather_series[t - self._enso_origin, 1])
 
     # ------------------------------------------------------------------
+    # Structural drift scenarios
+    # ------------------------------------------------------------------
+    def _scenario_term(self, t: int) -> np.ndarray | float:
+        """Additive drift field at week ``t`` (0.0 before onset).
+
+        Only called when ``config.scenario != "none"`` — the no-drift
+        path never evaluates this, keeping the historical archive
+        bitwise unchanged.
+        """
+        cfg = self.config
+        dt = t - cfg.scenario_onset_week
+        if dt <= 0:
+            return 0.0
+        s = cfg.scenario_strength
+        if cfg.scenario == "enso_shift":
+            # Regime shift: the ENSO arm intensifies (its index couples
+            # harder into the pattern — a covariance change of the
+            # retained modes) while a standing warm anomaly builds over
+            # the Nino region (a mean change), with the lagged western
+            # arm strengthening in step. Ramps in over
+            # scenario_ramp_weeks, then holds.
+            ramp = min(dt / cfg.scenario_ramp_weeks, 1.0)
+            return s * ramp * (
+                self._enso_pattern * (0.75 * self.enso_index(t) + 0.8)
+                + 0.5 * self._enso_lag_pattern * self.enso_index(t - 26))
+        # trend_acceleration: the warming *rate* grows linearly after
+        # onset, so the accumulated offset departs quadratically from the
+        # pre-onset trend line (8x the base rate gained per year at
+        # strength 1).
+        years = dt / WEEKS_PER_YEAR
+        accel = 8.0 * cfg.trend_per_year
+        return s * 0.5 * accel * years ** 2 * self._trend_pattern
+
+    # ------------------------------------------------------------------
     # Eddy (stochastic) component
     # ------------------------------------------------------------------
     def _noise_field(self, t: int) -> np.ndarray:
@@ -417,6 +489,8 @@ class SyntheticSST:
                 + self._drift_pattern * (t / (37.0 * WEEKS_PER_YEAR))
                 + self._trend_pattern * (self.config.trend_per_year
                                          * t / WEEKS_PER_YEAR))
+            if self.config.scenario != "none":
+                deterministic = deterministic + self._scenario_term(t)
             out[row] = deterministic + self._eddy_field(t, noise_cache)
             # Bound the cache: only the last `truncation` lags are reusable.
             if len(noise_cache) > 2 * max_cache:

@@ -77,11 +77,25 @@ class PODCoefficientPipeline:
         self.scaler = scaler if scaler is not None else MinMaxScaler()
 
     # ------------------------------------------------------------------
-    def fit(self, snapshots: np.ndarray) -> "PODCoefficientPipeline":
+    def fit(self, snapshots: np.ndarray, *,
+            basis: PODBasis | None = None) -> "PODCoefficientPipeline":
         """Fit POD basis and coefficient scaler on ``(N_h, N_s)`` training
-        snapshots."""
+        snapshots.
+
+        ``basis`` substitutes an externally-computed basis (e.g. a
+        :class:`~repro.pod.IncrementalPOD` snapshot of a streaming
+        archive) for the batch POD of ``snapshots``; the coefficient
+        scaler is still fit on ``snapshots`` projected through it.
+        """
         snaps = check_matrix(snapshots, name="snapshots")
-        self.basis = fit_pod(snaps, self.n_modes)
+        if basis is None:
+            self.basis = fit_pod(snaps, self.n_modes)
+        else:
+            if basis.n_modes != self.n_modes:
+                raise ValueError(
+                    f"supplied basis has {basis.n_modes} modes, "
+                    f"pipeline expects {self.n_modes}")
+            self.basis = basis
         coeff = project_coefficients(self.basis, snaps)
         self.scaler.fit(coeff)
         return self

@@ -56,16 +56,19 @@ class PODLSTMEmulator:
     # Fitting
     # ------------------------------------------------------------------
     def fit(self, snapshots: np.ndarray, *, network: Network | None = None,
-            rng=None) -> History:
+            rng=None, basis=None) -> History:
         """Fit POD + scaler on ``(N_h, N_s)`` training snapshots and train
         the forecast network on windowed coefficients.
 
         ``network`` defaults to a single-layer LSTM(80) stack; pass a NAS
         product (``build_network(space, best_arch)``) for the paper's
-        NAS-POD-LSTM.
+        NAS-POD-LSTM. ``basis`` substitutes an externally-computed POD
+        basis (e.g. a streaming :class:`~repro.pod.IncrementalPOD`
+        snapshot) for the batch POD of ``snapshots`` — the continuous
+        pipeline (:mod:`repro.pipeline`) retrains this way.
         """
         gen = as_generator(rng)
-        self.pipeline.fit(snapshots)
+        self.pipeline.fit(snapshots, basis=basis)
         examples = self.pipeline.windows_from_snapshots(snapshots)
         train, val = train_validation_split(
             examples, train_fraction=self.train_fraction, rng=gen)

@@ -1,0 +1,31 @@
+"""repro.pipeline — the continuous-learning service (docs/PIPELINE.md).
+
+Streaming SST ingestion → incremental POD → rolling retrain →
+validation-gated auto-promotion into the model registry, with durable,
+deterministically-resumable state.
+"""
+
+from repro.pipeline.feed import FeedConfig, SnapshotFeed
+from repro.pipeline.service import (
+    ContinuousPipeline,
+    PipelineConfig,
+    emulator_digest,
+    field_rmse,
+    validate_pipeline_status,
+)
+from repro.pipeline.state import (
+    STATE_FORMAT,
+    STATE_VERSION,
+    PipelineState,
+    PromotionDecision,
+    load_state,
+    save_state,
+)
+
+__all__ = [
+    "FeedConfig", "SnapshotFeed",
+    "PipelineConfig", "ContinuousPipeline",
+    "PipelineState", "PromotionDecision", "save_state", "load_state",
+    "STATE_FORMAT", "STATE_VERSION",
+    "field_rmse", "emulator_digest", "validate_pipeline_status",
+]

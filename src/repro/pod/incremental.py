@@ -6,6 +6,38 @@ memory comfortably, so the basis must be built from snapshot *blocks*.
 ``IncrementalPOD`` maintains a rank-``r`` factorization (and the running
 mean, with the standard rank-one mean-shift correction used by
 incremental PCA) that converges to the batch POD of all data seen.
+
+Invariants the continuous-learning pipeline (:mod:`repro.pipeline`)
+relies on — do not weaken these without updating docs/PIPELINE.md and
+``tests/test_pipeline.py``:
+
+* **Updates are order-dependent.** ``partial_fit`` truncates to
+  ``n_modes`` after every block, and truncation does not commute with
+  concatenation: feeding blocks ``A`` then ``B`` generally yields a
+  (slightly) different basis than ``B`` then ``A``, and both differ from
+  the batch SVD of ``[A B]`` by the energy truncated in between. A
+  resumable consumer must therefore replay the *same block sequence* —
+  which the pipeline guarantees by persisting the exact factorization
+  (:meth:`state`) at block boundaries and resuming from it, never by
+  refolding.
+* **State round-trips exactly.** :meth:`state` captures the complete
+  factorization as float64 arrays plus scalar counters;
+  :meth:`from_state` restores it bitwise, so
+  ``restore(state()).partial_fit(block)`` equals
+  ``self.partial_fit(block)`` bit for bit (pinned in
+  tests/test_pod_incremental.py). This is what makes an interrupted
+  pipeline's promotion sequence reproducible.
+* **``basis_version`` counts successful updates.** It increments by
+  exactly one per ``partial_fit`` and survives the state round-trip —
+  downstream artifacts (published bundles, pipeline status reports) cite
+  it as the provenance of "which basis trained this model".
+* **Forgetting weights the past, never reorders it.** With
+  ``forgetting < 1`` each update scales the retained singular values by
+  ``sqrt(forgetting)`` and the running-mean weight by ``forgetting``
+  before folding the new block, exponentially down-weighting stale
+  statistics so the basis tracks drifting archives (the pipeline's
+  drift scenarios). ``forgetting=1`` (default) is the exact historical
+  behaviour, converging to the batch POD of all data seen.
 """
 
 from __future__ import annotations
@@ -29,11 +61,21 @@ class IncrementalPOD:
         Rank retained between updates. Keep a healthy margin above the
         rank you intend to use (truncation between updates loses the
         energy that later blocks might have reinforced).
+    forgetting:
+        Exponential down-weighting of previously-seen statistics per
+        update, in ``(0, 1]``. ``1.0`` (default) weighs all history
+        equally; smaller values track drifting archives at the cost of
+        no longer converging to the all-data batch POD.
     """
 
-    def __init__(self, n_modes: int) -> None:
+    def __init__(self, n_modes: int, *, forgetting: float = 1.0) -> None:
         self.n_modes = check_positive_int(n_modes, name="n_modes")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError(f"forgetting must be in (0, 1], got {forgetting}")
+        self.forgetting = float(forgetting)
         self.n_seen = 0
+        self.basis_version = 0
+        self._weight = 0.0  # effective (forgetting-discounted) sample mass
         self.mean_: np.ndarray | None = None
         self._modes: np.ndarray | None = None    # (N_h, r) orthonormal
         self._singular: np.ndarray | None = None  # descending
@@ -53,20 +95,27 @@ class IncrementalPOD:
             self._modes = np.ascontiguousarray(u[:, :k])
             self._singular = s[:k]
             self.n_seen = m
+            self._weight = float(m)
+            self.basis_version += 1
             return self
 
         if block.shape[0] != self.mean_.shape[0]:
             raise ValueError(
                 f"snapshot dimension {block.shape[0]} does not match "
                 f"{self.mean_.shape[0]}")
-        n = self.n_seen
+        # Exponential forgetting: discount the retained factorization
+        # (singular values scale by sqrt(lambda) — they carry the
+        # covariance weight quadratically) and the mean's sample mass.
+        n = self._weight * self.forgetting
+        singular = self._singular if self.forgetting == 1.0 \
+            else np.sqrt(self.forgetting) * self._singular
         total = n + m
         # Mean-shift correction column (incremental-PCA identity): the
         # covariance of the union decomposes into both centered parts plus
         # a rank-one term along the mean difference.
         correction = np.sqrt(n * m / total) * (self.mean_ - block_mean)
         augmented = np.concatenate(
-            [self._modes * self._singular[None, :],
+            [self._modes * singular[None, :],
              block - block_mean[:, None],
              correction[:, None]], axis=1)
         u, s, _ = sla.svd(augmented, full_matrices=False)
@@ -74,7 +123,9 @@ class IncrementalPOD:
         self._modes = np.ascontiguousarray(u[:, :k])
         self._singular = s[:k]
         self.mean_ = (n * self.mean_ + m * block_mean) / total
-        self.n_seen = total
+        self.n_seen += m
+        self._weight = total
+        self.basis_version += 1
         return self
 
     # ------------------------------------------------------------------
@@ -96,3 +147,44 @@ class IncrementalPOD:
         if self._singular is None:
             raise RuntimeError("no data seen yet")
         return self._singular ** 2
+
+    # ------------------------------------------------------------------
+    # Exact state capture (the substrate of repro.pipeline durability)
+    # ------------------------------------------------------------------
+    def state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The complete factorization as ``(config, arrays)``.
+
+        ``config`` is JSON-compatible scalars; ``arrays`` are float64 and
+        restore **bitwise** through :meth:`from_state` — a restored
+        instance continues the identical update sequence (see the module
+        docstring's invariants).
+        """
+        config = {"n_modes": self.n_modes, "forgetting": self.forgetting,
+                  "n_seen": self.n_seen, "weight": self._weight,
+                  "basis_version": self.basis_version}
+        arrays: dict[str, np.ndarray] = {}
+        if self.n_seen:
+            arrays = {"pod_mean": self.mean_, "pod_modes": self._modes,
+                      "pod_singular": self._singular}
+        return config, arrays
+
+    @classmethod
+    def from_state(cls, config: dict, arrays) -> "IncrementalPOD":
+        """Rebuild an instance from :meth:`state` output (bitwise).
+
+        ``arrays`` is any mapping of the array names to arrays (a dict
+        or an open ``npz`` archive).
+        """
+        pod = cls(int(config["n_modes"]),
+                  forgetting=float(config["forgetting"]))
+        pod.n_seen = int(config["n_seen"])
+        pod._weight = float(config["weight"])
+        pod.basis_version = int(config["basis_version"])
+        if pod.n_seen:
+            pod.mean_ = np.asarray(arrays["pod_mean"],
+                                   dtype=np.float64).copy()
+            pod._modes = np.ascontiguousarray(
+                np.asarray(arrays["pod_modes"], dtype=np.float64))
+            pod._singular = np.asarray(arrays["pod_singular"],
+                                       dtype=np.float64).copy()
+        return pod

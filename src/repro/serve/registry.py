@@ -6,18 +6,40 @@ Directory layout (docs/SERVING.md)::
       versions/
         <name>.npz        # one emulator bundle per published version
       ACTIVE              # name of the version serving traffic
+      AUDIT.jsonl         # append-only publish/promote audit trail
 
-Publishing writes the bundle to a temporary sibling first and
-``os.replace``s it into place; promotion rewrites ``ACTIVE`` through the
-same tmp+fsync+rename discipline as :mod:`repro.nas.checkpoint` — a
-crash at any instant leaves the registry pointing at a complete,
-loadable bundle, never a torn file or dangling pointer.
+Invariants both the serving tier (:mod:`repro.serve.router`) and the
+continuous-learning pipeline (:mod:`repro.pipeline`) rely on:
+
+* **Publication is atomic.** ``publish`` writes the bundle to a
+  temporary sibling first and ``os.replace``s it into place; a reader
+  (or a worker process loading mid-publish) always observes either the
+  previous complete bundle or the new one, never a torn ``.npz``.
+  Re-publishing an existing name is idempotent replacement — the
+  pipeline exploits this when a crash lands between publish and its own
+  state save: the retrain is replayed and republishes the identical
+  bundle under the identical name.
+* **Promotion is atomic and ordered after publication.** ``promote``
+  rewrites ``ACTIVE`` through the same tmp+fsync+rename discipline as
+  :mod:`repro.nas.checkpoint` and refuses names without a published
+  bundle, so ``ACTIVE`` can never dangle: a crash at any instant leaves
+  it pointing at a complete, loadable bundle.
+* **The audit trail is append-only and advisory.** Every publish and
+  promote appends one JSON line to ``AUDIT.jsonl`` (action, version,
+  previous active pointer, wall-clock time, optional note). It is a
+  *record*, not a source of truth — readers tolerate a torn final line
+  (a crash mid-append), and no registry operation ever consults it.
+  Deterministic replay guarantees therefore never include audit bytes;
+  the pipeline's promotion-sequence identity is defined over its own
+  typed decision records and the bundle contents.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
+import time
 from pathlib import Path
 
 from repro.forecast.pod_lstm import PODLSTMEmulator
@@ -31,6 +53,7 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 _ACTIVE_FILE = "ACTIVE"
 _VERSIONS_DIR = "versions"
+_AUDIT_FILE = "AUDIT.jsonl"
 
 
 def _check_name(name: str) -> str:
@@ -66,36 +89,78 @@ class ModelRegistry:
     def _active_path(self) -> Path:
         return self.root / _ACTIVE_FILE
 
+    @property
+    def _audit_path(self) -> Path:
+        return self.root / _AUDIT_FILE
+
     # -- publishing ------------------------------------------------------
     def publish(self, name: str, emulator: PODLSTMEmulator, *,
                 metadata: dict | None = None,
-                activate: bool = False) -> Path:
+                activate: bool = False, note: str | None = None) -> Path:
         """Serialize ``emulator`` as version ``name``.
 
         The bundle is written to a tmp sibling and atomically renamed in,
         so readers never observe a partial artifact. Re-publishing an
         existing name replaces it. ``activate=True`` also promotes the
-        version.
+        version. ``note`` is recorded in the audit trail.
         """
         target = self.bundle_path(name)
         tmp = target.with_name(target.name + ".tmp")
         written = save_bundle(emulator, tmp, metadata=metadata)
         os.replace(written, target)
+        self._audit("publish", name, note=note)
         if activate:
-            self.promote(name)
+            self.promote(name, note=note)
         return target
 
-    def promote(self, name: str) -> None:
-        """Atomically point ``ACTIVE`` at an existing version."""
+    def promote(self, name: str, *, note: str | None = None) -> None:
+        """Atomically point ``ACTIVE`` at an existing version.
+
+        The promotion (with the previous active pointer and the optional
+        ``note``) is appended to the audit trail.
+        """
         if not self.bundle_path(name).exists():
             raise ValueError(f"cannot promote unknown version {name!r}; "
                              f"published versions: {self.versions()}")
+        previous = self.active()
         tmp = self._active_path.with_name(_ACTIVE_FILE + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(name + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self._active_path)
+        self._audit("promote", name, previous=previous, note=note)
+
+    # -- audit trail -----------------------------------------------------
+    def _audit(self, action: str, name: str, *, previous: str | None = None,
+               note: str | None = None) -> None:
+        entry = {"action": action, "version": name, "time": time.time()}
+        if action == "promote":
+            entry["previous"] = previous
+        if note is not None:
+            entry["note"] = note
+        with open(self._audit_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def audit_trail(self) -> list[dict]:
+        """The publish/promote history, oldest first.
+
+        Append-only and advisory (see module docstring): a torn final
+        line — a crash mid-append — is skipped, not an error.
+        """
+        try:
+            lines = self._audit_path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return []
+        entries = []
+        for line in lines:
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return entries
 
     # -- reading ---------------------------------------------------------
     def versions(self) -> list[str]:
@@ -130,6 +195,24 @@ class ModelRegistry:
             raise ValueError(f"unknown version {name!r}; "
                              f"published versions: {self.versions()}")
         return name, load_bundle(path)
+
+    def report(self) -> str:
+        """Human-readable registry listing (versions + ACTIVE marker).
+
+        The one formatter behind both ``repro serve --status`` and
+        ``repro pipeline status`` — the ACTIVE-pointer parsing and the
+        marker layout live here only (regression-tested in
+        tests/test_serve_registry.py).
+        """
+        versions = self.versions()
+        active = self.active()
+        lines = [f"registry {self.root}"]
+        if not versions:
+            lines.append("  (no versions published)")
+        for name in versions:
+            marker = " *active*" if name == active else ""
+            lines.append(f"  {name}{marker}")
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (f"ModelRegistry(root={str(self.root)!r}, "

@@ -1,0 +1,120 @@
+"""Documentation integrity: every `repro.*` dotted path and every
+`repro <subcommand>` cited anywhere in README.md or docs/*.md must
+resolve against the actual package and CLI — documentation drift fails
+here, not in a reader's terminal. Also pins the docs index: INDEX.md
+links every guide, README links INDEX.md."""
+
+import importlib
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+#: Dotted references: `repro.pod`, `repro.serve.registry.ModelRegistry`,
+#: `repro.nn.detmath.batch_invariant` ... (trailing `()` not captured).
+_DOTTED = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+#: CLI citations: `repro <word>` / `python -m repro <word>` /
+#: `python -m repro.cli <word>`. The lookbehind skips Python import
+#: statements (`from repro import ...`).
+_SUBCOMMAND = re.compile(
+    r"(?<!from )\brepro(?:\.cli)? (?!import\b)([a-z][a-z0-9]*)\b")
+
+
+def _doc_ids():
+    return [p.relative_to(REPO).as_posix() for p in DOC_FILES]
+
+
+def _resolves(path: str) -> bool:
+    """True when ``path`` is an importable module, or an attribute chain
+    hanging off one (class, function, constant)."""
+    parts = path.split(".")
+    for split in range(len(parts), 0, -1):
+        module = ".".join(parts[:split])
+        try:
+            spec = importlib.util.find_spec(module)
+        except (ModuleNotFoundError, ValueError):
+            spec = None
+        if spec is None:
+            continue
+        obj = importlib.import_module(module)
+        for attr in parts[split:]:
+            if not hasattr(obj, attr):
+                return False
+            obj = getattr(obj, attr)
+        return True
+    return False
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_cited_module_paths_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    cited = sorted(set(_DOTTED.findall(text)))
+    assert cited, f"{doc.name} cites no repro.* paths (regex broken?)"
+    broken = [path for path in cited if not _resolves(path)]
+    assert not broken, (
+        f"{doc.name} cites repro.* paths that do not resolve: {broken}")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_cited_subcommands_exist(doc):
+    from repro.cli import EXPERIMENTS, SUBCOMMANDS
+    valid = set(EXPERIMENTS) | set(SUBCOMMANDS) | {"all", "list"}
+    text = doc.read_text(encoding="utf-8")
+    cited = set(_SUBCOMMAND.findall(text))
+    unknown = sorted(cited - valid)
+    assert not unknown, (
+        f"{doc.name} cites unknown repro subcommands {unknown}; "
+        f"valid: {sorted(valid)}")
+
+
+def test_every_guide_is_indexed():
+    index = (REPO / "docs" / "INDEX.md").read_text(encoding="utf-8")
+    guides = sorted(p.name for p in (REPO / "docs").glob("*.md")
+                    if p.name != "INDEX.md")
+    assert guides, "docs/ has no guides"
+    missing = [name for name in guides if f"({name})" not in index]
+    assert not missing, f"docs/INDEX.md does not link {missing}"
+
+
+def test_readme_links_docs_index():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/INDEX.md" in readme
+
+
+def test_index_relative_links_exist():
+    """Every relative markdown link in INDEX.md points at a real file."""
+    index_dir = REPO / "docs"
+    text = (index_dir / "INDEX.md").read_text(encoding="utf-8")
+    targets = re.findall(r"\]\(([^)#\s]+)\)", text)
+    assert targets
+    broken = [t for t in targets
+              if not t.startswith("http") and not (index_dir / t).exists()]
+    assert not broken, f"docs/INDEX.md links missing files: {broken}"
+
+
+def test_readme_relative_links_exist():
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    targets = re.findall(r"\]\(([^)#\s]+)\)", text)
+    broken = [t for t in targets
+              if not t.startswith("http") and not (REPO / t).exists()]
+    assert not broken, f"README.md links missing files: {broken}"
+
+
+def test_docs_cli_examples_use_real_flags():
+    """Smoke-parse every `repro pipeline ...` example's subcommand word
+    — the new CLI this PR documents — against its argparse tree."""
+    from repro.cli import pipeline_main
+    pattern = re.compile(r"repro(?:\.cli)? pipeline ([a-z]+)")
+    cited = set()
+    for doc in DOC_FILES:
+        cited |= set(pattern.findall(doc.read_text(encoding="utf-8")))
+    assert cited == {"run", "status"}
+    for action in cited:
+        with pytest.raises(SystemExit) as err:
+            pipeline_main([action, "--help"])
+        assert err.value.code == 0

@@ -91,3 +91,99 @@ class TestIncrementalPOD:
         stream_err = projection_error(inc.basis(3), snapshots)
         batch_err = projection_error(fit_pod(snapshots, 3), snapshots)
         assert stream_err < batch_err + 0.01
+
+
+class TestStateRoundTrip:
+    """The exact-capture contract of the continuous pipeline
+    (docs/PIPELINE.md): state()/from_state round-trips bitwise and a
+    restored instance continues the identical update sequence."""
+
+    def test_round_trip_bitwise(self, snapshots):
+        inc = IncrementalPOD(n_modes=5)
+        for start in range(0, 90, 18):
+            inc.partial_fit(snapshots[:, start:start + 18])
+        config, arrays = inc.state()
+        restored = IncrementalPOD.from_state(config, arrays)
+        np.testing.assert_array_equal(restored.mean_, inc.mean_)
+        np.testing.assert_array_equal(restored._modes, inc._modes)
+        np.testing.assert_array_equal(restored._singular, inc._singular)
+        assert restored.n_seen == inc.n_seen
+        assert restored.basis_version == inc.basis_version
+        assert restored._weight == inc._weight
+        assert restored.forgetting == inc.forgetting
+
+    def test_restored_continues_identically(self, snapshots):
+        """restore(state()).partial_fit(block) == self.partial_fit(block),
+        bit for bit — the resume guarantee of repro.pipeline."""
+        a = IncrementalPOD(n_modes=5)
+        for start in range(0, 60, 20):
+            a.partial_fit(snapshots[:, start:start + 20])
+        b = IncrementalPOD.from_state(*a.state())
+        tail = snapshots[:, 60:90]
+        a.partial_fit(tail)
+        b.partial_fit(tail)
+        np.testing.assert_array_equal(a.mean_, b.mean_)
+        np.testing.assert_array_equal(a._modes, b._modes)
+        np.testing.assert_array_equal(a._singular, b._singular)
+        assert a.basis_version == b.basis_version
+
+    def test_empty_state_round_trips(self):
+        inc = IncrementalPOD(n_modes=3, forgetting=0.9)
+        restored = IncrementalPOD.from_state(*inc.state())
+        assert restored.n_seen == 0
+        assert restored.basis_version == 0
+        assert restored.forgetting == 0.9
+
+    def test_basis_version_counts_updates(self, snapshots):
+        inc = IncrementalPOD(n_modes=4)
+        assert inc.basis_version == 0
+        for i, start in enumerate(range(0, 90, 30)):
+            inc.partial_fit(snapshots[:, start:start + 30])
+            assert inc.basis_version == i + 1
+
+
+class TestForgetting:
+    def test_forgetting_validated(self):
+        with pytest.raises(ValueError):
+            IncrementalPOD(n_modes=3, forgetting=0.0)
+        with pytest.raises(ValueError):
+            IncrementalPOD(n_modes=3, forgetting=1.5)
+
+    def test_forgetting_one_is_exact_historical_behaviour(self, snapshots):
+        """forgetting=1.0 must be bitwise identical to the default."""
+        a = IncrementalPOD(n_modes=6)
+        b = IncrementalPOD(n_modes=6, forgetting=1.0)
+        for start in range(0, 90, 30):
+            a.partial_fit(snapshots[:, start:start + 30])
+            b.partial_fit(snapshots[:, start:start + 30])
+        np.testing.assert_array_equal(a.mean_, b.mean_)
+        np.testing.assert_array_equal(a._modes, b._modes)
+        np.testing.assert_array_equal(a._singular, b._singular)
+
+    def test_forgetting_tracks_regime_change(self, rng):
+        """After a subspace switch, a forgetful basis captures the new
+        regime better than the equal-weight one."""
+        t = np.linspace(0, 6 * np.pi, 60)
+        u_old = rng.standard_normal(70)
+        u_new = rng.standard_normal(70)
+        old = np.outer(u_old, 5 * np.sin(t)) \
+            + 0.01 * rng.standard_normal((70, 60))
+        new = np.outer(u_new, 5 * np.sin(t)) \
+            + 0.01 * rng.standard_normal((70, 60))
+        equal = IncrementalPOD(n_modes=2)
+        forget = IncrementalPOD(n_modes=2, forgetting=0.3)
+        for block in (old[:, :30], old[:, 30:], new[:, :30], new[:, 30:]):
+            equal.partial_fit(block)
+            forget.partial_fit(block)
+        target = (u_new / np.linalg.norm(u_new))[:, None]
+        angle_equal = subspace_angle(target, equal.basis(1).modes)
+        angle_forget = subspace_angle(target, forget.basis(1).modes)
+        assert angle_forget < angle_equal
+
+    def test_forgetting_reduces_effective_weight(self, snapshots):
+        inc = IncrementalPOD(n_modes=4, forgetting=0.5)
+        for start in range(0, 90, 30):
+            inc.partial_fit(snapshots[:, start:start + 30])
+        assert inc.n_seen == 90
+        # weight = ((30*0.5)+30)*0.5 + 30 = 52.5 < 90
+        assert inc._weight == pytest.approx(52.5)

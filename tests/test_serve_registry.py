@@ -97,3 +97,87 @@ class TestLoad:
         registry.publish("v1", tiny_emulator, activate=True)
         text = repr(registry)
         assert "v1" in text
+
+
+class TestAuditTrail:
+    def test_publish_and_promote_append(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True)
+        registry.publish("v2", tiny_emulator)
+        trail = registry.audit_trail()
+        assert [(e["action"], e["version"]) for e in trail] == [
+            ("publish", "v1"), ("promote", "v1"), ("publish", "v2")]
+
+    def test_promote_records_previous(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True)
+        registry.publish("v2", tiny_emulator)
+        registry.promote("v2")
+        promotes = [e for e in registry.audit_trail()
+                    if e["action"] == "promote"]
+        assert promotes[0]["previous"] is None
+        assert promotes[1]["previous"] == "v1"
+
+    def test_note_recorded(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True,
+                         note="retrain 0 (no-active)")
+        assert all(e["note"] == "retrain 0 (no-active)"
+                   for e in registry.audit_trail())
+
+    def test_empty_trail(self, registry):
+        assert registry.audit_trail() == []
+
+    def test_torn_final_line_tolerated(self, registry, tiny_emulator):
+        """A crash mid-append leaves a torn last line; readers skip it."""
+        registry.publish("v1", tiny_emulator)
+        with open(registry.root / "AUDIT.jsonl", "a",
+                  encoding="utf-8") as fh:
+            fh.write('{"action": "pub')  # torn
+        trail = registry.audit_trail()
+        assert len(trail) == 1
+        assert trail[0]["version"] == "v1"
+
+    def test_trail_never_consulted_by_operations(self, registry,
+                                                 tiny_emulator):
+        """The trail is advisory: deleting it breaks nothing."""
+        registry.publish("v1", tiny_emulator, activate=True)
+        (registry.root / "AUDIT.jsonl").unlink()
+        registry.promote("v1")                 # works without history
+        name, _ = registry.load()
+        assert name == "v1"
+
+    def test_failed_promote_not_recorded(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator)
+        with pytest.raises(ValueError):
+            registry.promote("ghost")
+        assert [e["action"] for e in registry.audit_trail()] == ["publish"]
+
+
+class TestReport:
+    """The one formatter behind `repro serve --status` and
+    `repro pipeline status` — regression-pinned here so both CLIs render
+    identically."""
+
+    def test_empty_registry(self, registry):
+        report = registry.report()
+        assert str(registry.root) in report
+        assert "(no versions published)" in report
+
+    def test_lists_versions_with_active_marker(self, registry,
+                                               tiny_emulator):
+        registry.publish("v1", tiny_emulator)
+        registry.publish("v2", tiny_emulator, activate=True)
+        lines = registry.report().splitlines()
+        assert lines[1:] == ["  v1", "  v2 *active*"]
+
+    def test_exact_rendering(self, registry, tiny_emulator):
+        registry.publish("v1", tiny_emulator, activate=True)
+        assert registry.report() == (
+            f"registry {registry.root}\n  v1 *active*")
+
+    def test_serve_status_uses_report(self, registry, tiny_emulator,
+                                      capsys):
+        """`repro serve --status` prints report() verbatim."""
+        from repro.cli import serve_main
+        registry.publish("v1", tiny_emulator, activate=True)
+        assert serve_main(["--registry", str(registry.root),
+                           "--status"]) == 0
+        assert registry.report() in capsys.readouterr().out

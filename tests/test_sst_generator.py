@@ -60,6 +60,76 @@ class TestGoldenArchive:
         assert len(set(self.GOLDEN.values())) == len(self.GOLDEN)
 
 
+class TestGoldenDriftScenarios:
+    """Pinned digests of the drift scenarios, plus the regression that
+    matters most: `scenario="none"` (and any scenario before its onset)
+    is bitwise identical to the historical archive — drift support must
+    never perturb the baseline goldens above."""
+
+    # Same digest recipe as TestGoldenArchive (4 degrees, seed 0, weeks
+    # 0-3, 1e-6 rounding); onset week 1 / ramp 2 so the drift is live
+    # inside the digested window.
+    GOLDEN = {
+        "enso_shift": "eb3828d9f1979d4dc32ac722cab60c6f"
+                      "c6b776aa9ba738cc3236d482a3e30d24",
+        "trend_acceleration": "45967aa70f62a784ddb836db4bc6e850"
+                              "33905519d73c1db7f4fb51525bad2943",
+    }
+
+    @staticmethod
+    def _generator(scenario: str, onset: int = 1) -> SyntheticSST:
+        config = SSTConfig(scenario=scenario, scenario_onset_week=onset,
+                           scenario_ramp_weeks=2)
+        return SyntheticSST(grid=LatLonGrid(degrees=4.0), seed=0,
+                            config=config)
+
+    @pytest.mark.parametrize("scenario", sorted(GOLDEN))
+    def test_scenario_digest_is_pinned(self, scenario):
+        fields = self._generator(scenario).fields(np.arange(4))
+        digest = hashlib.sha256(np.round(fields, 6).tobytes()).hexdigest()
+        assert digest == self.GOLDEN[scenario]
+
+    def test_scenarios_distinct_from_baseline_and_each_other(self):
+        digests = set(self.GOLDEN.values()) | set(
+            TestGoldenArchive.GOLDEN.values())
+        assert len(digests) == len(self.GOLDEN) \
+            + len(TestGoldenArchive.GOLDEN)
+
+    def test_none_scenario_bitwise_baseline(self):
+        """Explicit `scenario="none"` config == default config, bitwise."""
+        explicit = SyntheticSST(
+            grid=LatLonGrid(degrees=4.0), seed=0,
+            config=SSTConfig(scenario="none"))
+        default = SyntheticSST(grid=LatLonGrid(degrees=4.0), seed=0)
+        np.testing.assert_array_equal(explicit.fields(np.arange(4)),
+                                      default.fields(np.arange(4)))
+
+    @pytest.mark.parametrize("scenario",
+                             ["enso_shift", "trend_acceleration"])
+    def test_before_onset_bitwise_baseline(self, scenario):
+        """Weeks at or before the onset are untouched by the scenario."""
+        drifted = self._generator(scenario, onset=3).fields(np.arange(4))
+        baseline = SyntheticSST(
+            grid=LatLonGrid(degrees=4.0), seed=0).fields(np.arange(4))
+        np.testing.assert_array_equal(drifted, baseline)
+
+    @pytest.mark.parametrize("scenario",
+                             ["enso_shift", "trend_acceleration"])
+    def test_after_onset_differs(self, scenario):
+        gen = self._generator(scenario, onset=1)
+        baseline = SyntheticSST(grid=LatLonGrid(degrees=4.0), seed=0)
+        a, b = gen.field(3), baseline.field(3)
+        assert not np.allclose(a, b, equal_nan=True)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="scenario"):
+            SSTConfig(scenario="meteor_strike")
+
+    def test_invalid_ramp_rejected(self):
+        with pytest.raises(ValueError):
+            SSTConfig(scenario="enso_shift", scenario_ramp_weeks=0)
+
+
 class TestFieldStructure:
     def test_land_is_nan(self, generator):
         field = generator.field(0)
