@@ -429,6 +429,78 @@ def _nas_benchmark_campaign_benchmark() -> Benchmark:
                      metadata=metadata)
 
 
+def _hyperband_campaign_benchmark() -> Benchmark:
+    """Hyperband on the 512-architecture benchmark archive vs the
+    full-budget 200-evaluation random-search campaign (docs/SEARCH.md).
+
+    ``make()`` runs the RS reference once and records both campaigns'
+    noise-free archived quality and training-epoch totals into the
+    metadata; the JSON itself witnesses the multi-fidelity win. CI
+    (multifidelity-smoke) gates on ``epochs_saved_ratio >=
+    epochs_saved_floor`` and ``hyperband_clean_quality >=
+    rs_clean_quality`` — Hyperband must reach the full-budget random
+    search's best quality in at most a third of the training epochs.
+    The timed region is the Hyperband campaign itself."""
+    seed = 0
+    rs_evaluations = 200
+    multiplier = 4
+
+    def make():
+        import tempfile
+        from pathlib import Path
+
+        from repro.nas import ArchitecturePerformanceModel, \
+            BenchmarkEvaluator, Hyperband, build_archive, \
+            run_benchmark_campaign, run_multifidelity_campaign
+        from repro.nas.space.ops import Operation
+        from repro.nas.space.search_space import StackedLSTMSpace
+        space = StackedLSTMSpace(
+            3, input_dim=3, output_dim=3,
+            operations=(Operation("identity"), Operation("lstm", 4),
+                        Operation("lstm", 8), Operation("lstm", 12)),
+            max_skip_depth=3)
+        model = ArchitecturePerformanceModel(space)
+        tmpdir = tempfile.mkdtemp(prefix="repro_bench_hb_")
+        path = build_archive(space, model, Path(tmpdir) / "archive.npz")
+        evaluator = BenchmarkEvaluator(path)
+        scheduler = Hyperband(min_epochs=1, max_epochs=evaluator.epochs,
+                              eta=4, candidate_multiplier=multiplier)
+
+        rs = run_benchmark_campaign(evaluator, algorithm="rs",
+                                    n_evaluations=rs_evaluations,
+                                    seed=seed)
+        hb = run_multifidelity_campaign(scheduler, evaluator, seed=seed)
+        rs_epochs = rs_evaluations * evaluator.epochs
+        metadata["rs_clean_quality"] = model.quality(
+            tuple(rs["best_architecture"]))
+        metadata["hyperband_clean_quality"] = model.quality(
+            tuple(hb["best_architecture"]))
+        metadata["rs_epochs"] = rs_epochs
+        metadata["hyperband_epochs"] = hb["epochs_incremental"]
+        metadata["hyperband_evaluations"] = hb["n_evaluations"]
+        metadata["epochs_saved_ratio"] = rs_epochs \
+            / hb["epochs_incremental"]
+
+        def run():
+            run_multifidelity_campaign(scheduler, evaluator, seed=seed)
+        return run
+
+    metadata = {"seed": seed, "rs_evaluations": rs_evaluations,
+                "eta": 4, "min_epochs": 1,
+                "candidate_multiplier": multiplier, "n_records": 512,
+                "epochs_saved_floor": 3.0,
+                "measures": "Hyperband (eta=4, x4 brackets) over the "
+                            "512-arch archive vs 200-evaluation "
+                            "full-budget RS; *_clean_quality are the "
+                            "noise-free archived qualities of each "
+                            "campaign's best, epochs_saved_ratio = "
+                            "rs_epochs / hyperband_epochs (must stay >= "
+                            "epochs_saved_floor with hyperband quality "
+                            ">= rs quality)"}
+    return Benchmark(name="nas_hyperband_campaign", make=make,
+                     metadata=metadata)
+
+
 #: Per-request service-time floor of the router benchmarks. Like
 #: ``_PACE_SECONDS`` above, a pace keeps the scaling measurement
 #: meaningful on single-core CI runners: with paced workers the w4/w1
@@ -531,7 +603,7 @@ def _pipeline_cycle_benchmark() -> Benchmark:
 
 def default_suite(quick: bool = True, *,
                   max_workers: int = 4) -> list[Benchmark]:
-    """The BENCH_core.json suite (22 benchmarks quick, 25 full).
+    """The BENCH_core.json suite (23 benchmarks quick, 26 full).
 
     ``max_workers`` caps the pool sizes of the serial-vs-pool throughput
     benchmarks (``repro bench --workers``); 0 drops them entirely.
@@ -544,6 +616,7 @@ def default_suite(quick: bool = True, *,
     suite.append(_pod_basis_benchmark(quick))
     suite.append(_random_search_benchmark())
     suite.append(_nas_benchmark_campaign_benchmark())
+    suite.append(_hyperband_campaign_benchmark())
     suite.append(_checkpoint_roundtrip_benchmark())
     if max_workers > 0:
         suite.append(_parallel_search_benchmark(None, quick))

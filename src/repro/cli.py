@@ -155,6 +155,80 @@ def bench_main(argv: list[str]) -> int:
     return 0
 
 
+def _multifidelity_search(args, evaluator, resume_state) -> int:
+    """``repro search --algo sh|hyperband`` — budget-scheduled search."""
+    from repro.nas.multifidelity import (Hyperband, SuccessiveHalving,
+                                         resume_multifidelity_campaign,
+                                         run_multifidelity_campaign,
+                                         scheduler_from_config)
+
+    max_epochs = int(getattr(evaluator, "epochs", 20))
+    try:
+        if resume_state is not None:
+            # Explicit flags must agree with the checkpoint: overlay them
+            # on the saved config and let the resume check refuse any
+            # difference ("resuming would continue a different
+            # experiment").
+            config = dict(resume_state["scheduler"])
+            if args.min_epochs is not None:
+                config["min_epochs"] = args.min_epochs
+            if args.eta is not None:
+                config["eta"] = args.eta
+            if config["algorithm"] == "sh" and args.candidates is not None:
+                config["n_candidates"] = args.candidates
+            if config["algorithm"] == "hyperband":
+                if args.brackets is not None:
+                    config["brackets"] = args.brackets
+                if args.multiplier is not None:
+                    config["candidate_multiplier"] = args.multiplier
+            scheduler = scheduler_from_config(config)
+            print(f"resuming {config['algorithm']} campaign from "
+                  f"{args.resume} ({resume_state['n_evaluations']} "
+                  f"evaluations done)")
+            report = resume_multifidelity_campaign(
+                resume_state, evaluator, scheduler=scheduler,
+                workers=args.workers, checkpoint=args.checkpoint,
+                stop_after_evaluations=args.stop_after)
+        else:
+            min_epochs = 1 if args.min_epochs is None else args.min_epochs
+            eta = 4 if args.eta is None else args.eta
+            if args.algorithm == "sh":
+                scheduler = SuccessiveHalving(
+                    n_candidates=(64 if args.candidates is None
+                                  else args.candidates),
+                    min_epochs=min_epochs, max_epochs=max_epochs, eta=eta)
+            else:
+                scheduler = Hyperband(
+                    min_epochs=min_epochs, max_epochs=max_epochs, eta=eta,
+                    brackets=args.brackets,
+                    candidate_multiplier=(1 if args.multiplier is None
+                                          else args.multiplier))
+            ladder = "; ".join(
+                " -> ".join(f"{r.n_candidates}@{r.epochs}ep"
+                            for r in bracket.rungs)
+                for bracket in scheduler.brackets())
+            print(f"search: {args.algorithm} (eta={eta}, "
+                  f"min_epochs={min_epochs}, max_epochs={max_epochs})")
+            print(f"brackets: {ladder}")
+            report = run_multifidelity_campaign(
+                scheduler, evaluator, seed=args.seed,
+                workers=args.workers, checkpoint=args.checkpoint,
+                stop_after_evaluations=args.stop_after)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.checkpoint is not None:
+        print(f"checkpoint written to {args.checkpoint}")
+    print(f"completed:             {report['completed']}")
+    print(f"evaluations:           {report['n_evaluations']}")
+    print(f"epochs (incremental):  {report['epochs_incremental']}")
+    print(f"epochs (fresh equiv.): {report['epochs_fresh']}")
+    if report["best_reward"] is not None:
+        print(f"best reward:           {report['best_reward']:.4f}")
+        print(f"best architecture:     {report['best_architecture']}")
+    return 0
+
+
 def search_main(argv: list[str]) -> int:
     """``repro search`` — run one NAS search on the simulated cluster,
     optionally evaluating on a real process pool (``--workers``)."""
@@ -163,10 +237,13 @@ def search_main(argv: list[str]) -> int:
         description="Run an architecture search (surrogate fidelity) on "
                     "the simulated Theta partition and print the paper's "
                     "scaling metrics.")
-    parser.add_argument("--algorithm", choices=("ae", "rs", "rl"),
+    parser.add_argument("--algorithm",
+                        choices=("ae", "rs", "rl", "ga", "sh", "hyperband"),
                         default="ae",
-                        help="aging evolution, random search, or "
-                             "distributed PPO (default: ae)")
+                        help="aging evolution, random search, distributed "
+                             "PPO, genetic joint arch/hyperparameter "
+                             "search, successive halving, or Hyperband "
+                             "(default: ae)")
     parser.add_argument("--nodes", type=int, default=16, metavar="N",
                         help="simulated partition size (default: 16)")
     parser.add_argument("--wall", type=float, default=3600.0, metavar="S",
@@ -206,6 +283,29 @@ def search_main(argv: list[str]) -> int:
                              "--algorithm/--nodes/--wall/--agents are "
                              "taken from the file (pass the original "
                              "--seed so the surrogate matches)")
+    parser.add_argument("--min-epochs", type=int, default=None,
+                        metavar="R", dest="min_epochs",
+                        help="sh/hyperband: smallest training budget per "
+                             "candidate (default: 1)")
+    parser.add_argument("--eta", type=int, default=None, metavar="E",
+                        help="sh/hyperband: budget growth / survival "
+                             "factor per rung (default: 4)")
+    parser.add_argument("--brackets", type=int, default=None, metavar="B",
+                        help="hyperband: run only the B most exploratory "
+                             "brackets (default: all)")
+    parser.add_argument("--candidates", type=int, default=None,
+                        metavar="N",
+                        help="sh: bracket width — candidates at the first "
+                             "rung (default: 64)")
+    parser.add_argument("--multiplier", type=int, default=None,
+                        metavar="M",
+                        help="hyperband: scale every bracket's width by M "
+                             "(default: 1)")
+    parser.add_argument("--stop-after", type=int, default=None,
+                        metavar="N", dest="stop_after",
+                        help="sh/hyperband: stop after N new evaluations "
+                             "(deterministic mid-rung interrupt; resume "
+                             "with --resume)")
     args = parser.parse_args(argv)
     if args.nodes < 1:
         parser.error(f"--nodes must be >= 1, got {args.nodes}")
@@ -224,11 +324,45 @@ def search_main(argv: list[str]) -> int:
         ArchitecturePerformanceModel,
         CheckpointPolicy,
         DistributedRL,
+        GeneticSearch,
+        JointArchitectureSpace,
+        JointSurrogateEvaluator,
         RandomSearch,
         SurrogateEvaluator,
+        load_checkpoint,
     )
+    from repro.nas.checkpoint import CAMPAIGN_FORMAT
+    from repro.nas.multifidelity import MULTIFIDELITY_FORMAT
     from repro.nas.space.ops import default_operations
     from repro.nas.space.search_space import StackedLSTMSpace
+
+    mf_flags = any(v is not None for v in (
+        args.min_epochs, args.eta, args.brackets, args.candidates,
+        args.multiplier, args.stop_after))
+
+    resume_state = None
+    if args.resume is not None:
+        try:
+            resume_state = load_checkpoint(args.resume)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read --resume checkpoint: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    multifidelity = (
+        resume_state.get("format") == MULTIFIDELITY_FORMAT
+        if resume_state is not None
+        else args.algorithm in ("sh", "hyperband"))
+    genetic = (
+        resume_state.get("format") == CAMPAIGN_FORMAT
+        and resume_state.get("algorithm", {}).get("algorithm")
+        == "GeneticSearch"
+        if resume_state is not None
+        else args.algorithm == "ga")
+    if mf_flags and not multifidelity:
+        parser.error("--min-epochs/--eta/--brackets/--candidates/"
+                     "--multiplier/--stop-after require --algorithm "
+                     "sh or hyperband")
 
     if args.benchmark is not None:
         from repro.nas import BenchmarkEvaluator
@@ -245,25 +379,44 @@ def search_main(argv: list[str]) -> int:
     else:
         space = StackedLSTMSpace(n_layers=5, input_dim=5, output_dim=5,
                                  operations=default_operations())
-        evaluator = SurrogateEvaluator(
-            space, ArchitecturePerformanceModel(space, seed=args.seed))
+        if genetic and not multifidelity:
+            # The GA searches architecture and training protocol jointly.
+            space = JointArchitectureSpace(space)
+            evaluator = JointSurrogateEvaluator(
+                space, ArchitecturePerformanceModel(space.arch_space,
+                                                    seed=args.seed))
+        else:
+            evaluator = SurrogateEvaluator(
+                space, ArchitecturePerformanceModel(space, seed=args.seed))
+    if args.obs:
+        obs.enable()
+
+    if multifidelity:
+        code = _multifidelity_search(args, evaluator, resume_state)
+        if code == 0 and args.obs:
+            print()
+            print(obs.summary())
+        return code
+
     checkpoint = None
     if args.checkpoint is not None:
         checkpoint = CheckpointPolicy(args.checkpoint,
                                       every_seconds=args.checkpoint_every)
-    if args.obs:
-        obs.enable()
 
     if args.resume is not None:
         print(f"resuming campaign from {args.resume}")
         algorithm, tracker = resume_search(
-            args.resume, space, evaluator, workers=args.workers,
+            resume_state, space, evaluator, workers=args.workers,
             walltime=args.walltime, checkpoint=checkpoint)
     else:
         if args.algorithm == "ae":
             algorithm = AgingEvolution(space, rng=args.seed)
         elif args.algorithm == "rs":
             algorithm = RandomSearch(space, rng=args.seed)
+        elif args.algorithm == "ga":
+            algorithm = GeneticSearch(space, rng=args.seed,
+                                      population_size=min(20, space.size),
+                                      tournament_size=4)
         else:
             alloc = rl_node_allocation(args.nodes, args.agents)
             algorithm = DistributedRL(

@@ -65,7 +65,7 @@ from repro.nas.algorithms.rl_nas import DistributedRL
 from repro.nas.checkpoint import CAMPAIGN_FORMAT, CHECKPOINT_VERSION, \
     CheckpointPolicy, atomic_write_json, load_checkpoint, restore_search, \
     search_state
-from repro.nas.evaluation import Evaluator
+from repro.nas.evaluation import Evaluator, evaluator_identity
 from repro.utils.rng import as_generator, as_seed_sequence, \
     generator_from_state, generator_state, sequence_from_state, \
     sequence_state, spawn
@@ -97,9 +97,11 @@ def _evaluator_identity(evaluator: Evaluator) -> dict | None:
     can never silently continue against a different benchmark. Evaluators
     without the hook (surrogate, real training) record ``None`` and skip
     the check, exactly as all pre-existing checkpoints do.
+
+    (Shared with the multi-fidelity campaign checkpoints — the logic
+    lives in :func:`repro.nas.evaluation.evaluator_identity`.)
     """
-    identity = getattr(evaluator, "checkpoint_identity", None)
-    return identity() if callable(identity) else None
+    return evaluator_identity(evaluator)
 
 
 def _check_resume_state(resume_state: dict | None, mode: str,

@@ -73,7 +73,11 @@ class EvaluationBackend:
     #: backend (1 for serial; ~2x workers for the pool).
     capacity: int = 1
 
-    def submit(self, arch, seed: np.random.SeedSequence) -> int:
+    def submit(self, arch, seed: np.random.SeedSequence,
+               epochs: int | None = None) -> int:
+        """Register a task. ``epochs`` (optional) asks the evaluator at a
+        truncated budget via ``evaluate_at`` — the multi-fidelity path;
+        ``None`` keeps the evaluator's full-budget ``evaluate``."""
         raise NotImplementedError
 
     def gather(self, handle: int) -> EvaluationResult:
@@ -102,28 +106,36 @@ class SerialEvaluator(EvaluationBackend):
 
     def __init__(self, evaluator: Evaluator) -> None:
         super().__init__(evaluator)
-        self._pending: dict[int, tuple[tuple, np.random.SeedSequence]] = {}
+        self._pending: dict[int, tuple[tuple, np.random.SeedSequence,
+                                       int | None]] = {}
         self._next_handle = 0
 
-    def submit(self, arch, seed: np.random.SeedSequence) -> int:
+    def submit(self, arch, seed: np.random.SeedSequence,
+               epochs: int | None = None) -> int:
         handle = self._next_handle
         self._next_handle += 1
-        self._pending[handle] = (tuple(arch), seed)
+        self._pending[handle] = (tuple(arch), seed, epochs)
         obs.counter_add("parallel/tasks_dispatched")
         return handle
 
     def gather(self, handle: int) -> EvaluationResult:
-        arch, seed = self._pending.pop(handle)
-        result = self.evaluator.evaluate(arch, np.random.default_rng(seed))
+        arch, seed, epochs = self._pending.pop(handle)
+        result = _evaluate_task(self.evaluator, arch, seed, epochs)
         obs.counter_add("parallel/tasks_completed")
         return result
 
 
 def _evaluate_task(evaluator: Evaluator, arch,
-                   seed: np.random.SeedSequence) -> EvaluationResult:
+                   seed: np.random.SeedSequence,
+                   epochs: int | None = None) -> EvaluationResult:
     """The single definition of how a task seed becomes an evaluation —
-    shared by workers, the serial backend, and every fallback path."""
-    return evaluator.evaluate(tuple(arch), np.random.default_rng(seed))
+    shared by workers, the serial backend, and every fallback path. A
+    task carrying an epoch budget routes to ``evaluate_at`` (the
+    multi-fidelity ask); the evaluator decides whether it can answer."""
+    if epochs is None:
+        return evaluator.evaluate(tuple(arch), np.random.default_rng(seed))
+    return evaluator.evaluate_at(tuple(arch), epochs,
+                                 np.random.default_rng(seed))
 
 
 def _worker_main(conn) -> None:
@@ -146,9 +158,9 @@ def _worker_main(conn) -> None:
         msg = pickle.loads(payload)
         if msg is None:
             return
-        handle, arch, seed = msg
+        handle, arch, seed, epochs = msg
         try:
-            result = _evaluate_task(evaluator, arch, seed)
+            result = _evaluate_task(evaluator, arch, seed, epochs)
             out = ("ok", handle, result)
         except Exception as exc:
             out = ("error", handle,
@@ -171,6 +183,7 @@ class _Task:
     handle: int
     arch: tuple
     seed: np.random.SeedSequence
+    epochs: int | None = None
     attempts: int = 0
     worker: "_Worker | None" = None
     dispatched_at: float = field(default=0.0)
@@ -274,12 +287,14 @@ class ParallelEvaluator(EvaluationBackend):
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
-    def submit(self, arch, seed: np.random.SeedSequence) -> int:
+    def submit(self, arch, seed: np.random.SeedSequence,
+               epochs: int | None = None) -> int:
         if self._closed:
             raise RuntimeError("backend is closed")
         handle = self._next_handle
         self._next_handle += 1
-        task = _Task(handle=handle, arch=tuple(arch), seed=seed)
+        task = _Task(handle=handle, arch=tuple(arch), seed=seed,
+                     epochs=epochs)
         self._tasks[handle] = task
         obs.counter_add("parallel/tasks_dispatched")
         if not self._degraded:
@@ -333,7 +348,8 @@ class ParallelEvaluator(EvaluationBackend):
 
     def _run_degraded(self, task: _Task) -> None:
         try:
-            result = _evaluate_task(self.evaluator, task.arch, task.seed)
+            result = _evaluate_task(self.evaluator, task.arch, task.seed,
+                                    task.epochs)
         except Exception as exc:
             result = self._failure_result(
                 task, f"degraded in-process evaluation raised: {exc}")
@@ -346,7 +362,8 @@ class ParallelEvaluator(EvaluationBackend):
                 self._send_task(worker, task)
 
     def _send_task(self, worker: _Worker, task: _Task) -> None:
-        blob = pickle.dumps((task.handle, task.arch, task.seed))
+        blob = pickle.dumps((task.handle, task.arch, task.seed,
+                             task.epochs))
         obs.counter_add("parallel/pickle_bytes_out", len(blob))
         task.worker = worker
         task.dispatched_at = time.monotonic()
@@ -450,7 +467,8 @@ class ParallelEvaluator(EvaluationBackend):
         if self.serial_fallback and not timed_out:
             obs.counter_add("parallel/serial_fallbacks")
             try:
-                result = _evaluate_task(self.evaluator, task.arch, task.seed)
+                result = _evaluate_task(self.evaluator, task.arch,
+                                        task.seed, task.epochs)
                 result.metadata["recovered"] = "in-process"
                 self._done[task.handle] = result
                 return

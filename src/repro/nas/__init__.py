@@ -11,23 +11,43 @@ Subpackages:
   model that stands in for single-node Theta trainings at scale;
 * :mod:`repro.nas.benchmark` — tabular NAS benchmark archives
   (precomputed evaluation tables + surrogate-fit fallback,
-  docs/NAS_BENCHMARK.md).
+  docs/NAS_BENCHMARK.md);
+* :mod:`repro.nas.multifidelity` — successive-halving / Hyperband budget
+  schedulers over partial-training fidelities (docs/SEARCH.md).
 """
 
-from repro.nas.space import Architecture, Operation, StackedLSTMSpace
+from repro.nas.space import (
+    Architecture,
+    HyperparameterGrid,
+    Hyperparameters,
+    JointArchitectureSpace,
+    Operation,
+    StackedLSTMSpace,
+)
 from repro.nas.space.builder import build_network
 from repro.nas.algorithms import (
     AgingEvolution,
     DistributedRL,
+    GeneticSearch,
     RandomSearch,
     SearchAlgorithm,
 )
 from repro.nas.evaluation import (
     EvaluationResult,
     Evaluator,
+    JointSurrogateEvaluator,
     PacedEvaluator,
+    PartialTrainingEvaluator,
     RealTrainingEvaluator,
     SurrogateEvaluator,
+    evaluator_identity,
+)
+from repro.nas.multifidelity import (
+    Hyperband,
+    SuccessiveHalving,
+    resume_multifidelity_campaign,
+    run_multifidelity_campaign,
+    scheduler_from_config,
 )
 from repro.nas.surrogate import ArchitecturePerformanceModel
 from repro.nas.benchmark import (
@@ -35,6 +55,7 @@ from repro.nas.benchmark import (
     ARCHIVE_VERSION,
     ArchitectureArchive,
     BenchmarkEvaluator,
+    CurveUnavailableError,
     build_archive,
     load_archive,
     read_archive_header,
@@ -55,21 +76,34 @@ __all__ = [
     "Architecture",
     "Operation",
     "StackedLSTMSpace",
+    "Hyperparameters",
+    "HyperparameterGrid",
+    "JointArchitectureSpace",
     "build_network",
     "SearchAlgorithm",
     "AgingEvolution",
     "DistributedRL",
+    "GeneticSearch",
     "RandomSearch",
     "EvaluationResult",
     "Evaluator",
     "PacedEvaluator",
     "RealTrainingEvaluator",
     "SurrogateEvaluator",
+    "JointSurrogateEvaluator",
+    "PartialTrainingEvaluator",
+    "evaluator_identity",
     "ArchitecturePerformanceModel",
+    "SuccessiveHalving",
+    "Hyperband",
+    "run_multifidelity_campaign",
+    "resume_multifidelity_campaign",
+    "scheduler_from_config",
     "ARCHIVE_FORMAT",
     "ARCHIVE_VERSION",
     "ArchitectureArchive",
     "BenchmarkEvaluator",
+    "CurveUnavailableError",
     "build_archive",
     "load_archive",
     "read_archive_header",

@@ -3,6 +3,7 @@
 from repro.nas.algorithms.base import SearchAlgorithm
 from repro.nas.algorithms.random_search import RandomSearch
 from repro.nas.algorithms.aging_evolution import AgingEvolution
+from repro.nas.algorithms.genetic import GeneticSearch
 from repro.nas.algorithms.ppo import PPOAgent, PPOConfig
 from repro.nas.algorithms.rl_nas import DistributedRL
 
@@ -10,6 +11,7 @@ __all__ = [
     "SearchAlgorithm",
     "RandomSearch",
     "AgingEvolution",
+    "GeneticSearch",
     "PPOAgent",
     "PPOConfig",
     "DistributedRL",

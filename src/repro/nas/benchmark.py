@@ -62,9 +62,16 @@ from repro.utils.rng import as_generator, as_seed_sequence, child_sequence
 
 __all__ = ["ARCHIVE_FORMAT", "ARCHIVE_VERSION", "SWEEP_FORMAT",
            "SWEEP_VERSION", "ArchitectureArchive", "BenchmarkEvaluator",
-           "build_archive", "load_archive", "read_archive_header",
-           "run_benchmark_campaign", "run_seed_sweep",
-           "validate_sweep_report"]
+           "CurveUnavailableError", "build_archive", "load_archive",
+           "read_archive_header", "run_benchmark_campaign",
+           "run_seed_sweep", "validate_sweep_report"]
+
+
+class CurveUnavailableError(ValueError):
+    """A fidelity-truncated ask hit an archive built without per-epoch
+    curves (``build_archive(..., with_curves=False)``). Typed so
+    multi-fidelity schedulers can distinguish "this archive cannot answer
+    low-fidelity asks" from a plain missing-architecture ``KeyError``."""
 
 #: Format tag of a benchmark archive artifact.
 ARCHIVE_FORMAT = "repro-nas-benchmark"
@@ -154,8 +161,24 @@ class ArchitectureArchive:
         return {tuple(int(v) for v in row): i
                 for i, row in enumerate(self.encodings)}
 
+    @property
+    def has_curves(self) -> bool:
+        """False when built with ``with_curves=False`` (the curves array
+        is ``(n, 0)`` and low-fidelity asks cannot be answered)."""
+        return self.curves.shape[1] > 0
+
     def curve(self, arch: Architecture) -> np.ndarray:
-        """The training curve recorded for an in-table architecture."""
+        """The training curve recorded for an in-table architecture.
+
+        Raises :class:`CurveUnavailableError` when the archive was built
+        without curves, and ``KeyError`` when the architecture is simply
+        not in the table.
+        """
+        if not self.has_curves:
+            raise CurveUnavailableError(
+                f"archive was built without per-epoch curves "
+                f"(with_curves=False); rebuild with curves to answer "
+                f"fidelity-truncated asks")
         key = tuple(int(v) for v in arch)
         for i, row in enumerate(self.encodings):
             if tuple(int(v) for v in row) == key:
@@ -165,7 +188,7 @@ class ArchitectureArchive:
 
 def build_archive(space: StackedLSTMSpace, model, path, *,
                   architectures=None, n_samples: int | None = None,
-                  rng=None, epochs: int = 20,
+                  rng=None, epochs: int = 20, with_curves: bool = True,
                   metadata: dict | None = None):
     """Sweep ``space`` through ``model`` and write a benchmark archive.
 
@@ -186,6 +209,10 @@ def build_archive(space: StackedLSTMSpace, model, path, *,
         Seeds sampling and (Evaluator mode) the per-record task streams.
     epochs:
         Training budget of the recorded qualities and curve length.
+    with_curves:
+        False skips the per-epoch curves (smaller/faster builds); the
+        resulting archive answers full-budget asks only — fidelity-
+        truncated asks raise :class:`CurveUnavailableError`.
 
     Returns the path the archive actually lives at.
     """
@@ -225,7 +252,7 @@ def build_archive(space: StackedLSTMSpace, model, path, *,
     encodings = np.asarray(archs, dtype=np.int64)
     rewards = np.empty(n, dtype=np.float64)
     costs = np.empty(n, dtype=np.float64)
-    curves = np.empty((n, epochs), dtype=np.float64)
+    curves = np.empty((n, epochs if with_curves else 0), dtype=np.float64)
 
     with obs.scope("nas/benchmark/build"):
         if isinstance(model, ArchitecturePerformanceModel):
@@ -236,8 +263,9 @@ def build_archive(space: StackedLSTMSpace, model, path, *,
                 rewards[i] = model.quality(arch, epochs)
                 costs[i] = model.training_seconds(arch, rng=None,
                                                   epochs=epochs)
-                for e in range(1, epochs + 1):
-                    curves[i, e - 1] = model.quality(arch, e)
+                if with_curves:
+                    for e in range(1, epochs + 1):
+                        curves[i, e - 1] = model.quality(arch, e)
         elif isinstance(model, Evaluator):
             # Measured-fidelity archive: the recorded values already
             # include whatever noise the evaluation process has, so the
@@ -251,6 +279,8 @@ def build_archive(space: StackedLSTMSpace, model, path, *,
                         child_sequence(task_root, i)))
                 rewards[i] = result.reward
                 costs[i] = result.duration
+                if not with_curves:
+                    continue
                 history = result.metadata.get("history")
                 val_r2 = getattr(history, "val_r2", None)
                 if val_r2:
@@ -455,6 +485,68 @@ class BenchmarkEvaluator(Evaluator):
             metadata={"fidelity": "benchmark", "source": source,
                       "epochs": self.epochs})
 
+    def evaluate_at(self, arch: Architecture, epochs: int,
+                    rng=None) -> EvaluationResult:
+        """Fidelity-truncated ask, answered from the archived per-epoch
+        curves (multi-fidelity rungs).
+
+        In-table asks at ``epochs`` replay ``curves[i, epochs-1]`` — the
+        noise-free quality the performance model reports at that budget —
+        with the cost prorated to ``epochs``, then apply the same two
+        noise draws as :meth:`evaluate`; the result is bitwise what
+        :meth:`SurrogateEvaluator.evaluate_at
+        <repro.nas.evaluation.SurrogateEvaluator.evaluate_at>` returns.
+        Off-table asks shift the surrogate's full-budget prediction by
+        the table-mean truncation offset. Archives built with
+        ``with_curves=False`` raise :class:`CurveUnavailableError`.
+        """
+        epochs = int(epochs)
+        if not 1 <= epochs <= self.epochs:
+            raise ValueError(
+                f"epochs must be in [1, {self.epochs}], got {epochs}")
+        if epochs == self.epochs:
+            return self.evaluate(arch, rng)
+        if not self.archive.has_curves:
+            raise CurveUnavailableError(
+                f"archive {self.archive.digest[:12]} was built without "
+                f"per-epoch curves (with_curves=False) and cannot answer "
+                f"a {epochs}-epoch ask; rebuild the archive with curves")
+        gen = as_generator(rng)
+        arch = self.space.validate(arch)
+        with obs.scope("nas/evaluate/benchmark"):
+            idx = self._table.get(arch)
+            if idx is not None:
+                quality = float(self.archive.curves[idx, epochs - 1])
+                mean_cost = float(self.archive.costs[idx]) \
+                    * (epochs / self.epochs)
+                source = "table"
+            else:
+                full_quality, full_cost = self._predict(arch)
+                quality = full_quality + self._truncation_offset(epochs)
+                mean_cost = full_cost * (epochs / self.epochs)
+                source = "surrogate"
+        noise_std = float(self.archive.noise["noise_std"])
+        sigma = float(self.archive.noise["time_noise_sigma"])
+        reward = float(quality + gen.normal(0.0, noise_std))
+        cost_noise = np.exp(gen.normal(0.0, sigma) - 0.5 * sigma ** 2)
+        duration = float(mean_cost * cost_noise)
+        if obs.enabled():
+            obs.counter_add("nas/evaluations")
+            obs.counter_add(f"nas/benchmark/"
+                            f"{'table_hit' if source == 'table' else 'surrogate_miss'}")
+            obs.counter_add("nas/simulated_seconds", duration)
+        return EvaluationResult(
+            architecture=arch, reward=reward, duration=duration,
+            n_parameters=self.space.count_parameters(arch),
+            metadata={"fidelity": "benchmark", "source": source,
+                      "epochs": epochs})
+
+    def _truncation_offset(self, epochs: int) -> float:
+        """Table-mean quality drop of truncating training to ``epochs``
+        — the deterministic fidelity correction for off-table asks."""
+        return float(np.mean(self.archive.curves[:, epochs - 1]
+                             - self.archive.rewards))
+
 
 # ---------------------------------------------------------------------------
 # Campaigns and multi-seed sweeps
@@ -462,17 +554,22 @@ class BenchmarkEvaluator(Evaluator):
 
 def _make_algorithm(name: str, space: StackedLSTMSpace, seed: int):
     from repro.nas.algorithms import AgingEvolution, DistributedRL, \
-        RandomSearch
+        GeneticSearch, RandomSearch
     if name == "rs":
         return RandomSearch(space, rng=seed)
     if name == "ae":
         return AgingEvolution(space, rng=seed,
                               population_size=min(20, space.size),
                               sample_size=5)
+    if name == "ga":
+        return GeneticSearch(space, rng=seed,
+                             population_size=min(20, space.size),
+                             tournament_size=4)
     if name == "rl":
         return DistributedRL(space, rng=seed, n_agents=2,
                              workers_per_agent=2)
-    raise ValueError(f"unknown algorithm {name!r}: use 'rs', 'ae' or 'rl'")
+    raise ValueError(
+        f"unknown algorithm {name!r}: use 'rs', 'ae', 'ga' or 'rl'")
 
 
 def run_benchmark_campaign(evaluator: Evaluator, *, algorithm: str = "rs",

@@ -42,6 +42,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.nas.algorithms.aging_evolution import AgingEvolution
+from repro.nas.algorithms.genetic import GeneticSearch
 from repro.nas.algorithms.ppo import PPOConfig
 from repro.nas.algorithms.random_search import RandomSearch
 from repro.nas.algorithms.rl_nas import DistributedRL
@@ -109,10 +110,11 @@ def atomic_write_json(path, payload: dict) -> None:
 
 def search_state(search) -> dict:
     """Versioned JSON-compatible snapshot of any search algorithm."""
-    if not isinstance(search, (AgingEvolution, RandomSearch, DistributedRL)):
+    if not isinstance(search, (AgingEvolution, RandomSearch, DistributedRL,
+                               GeneticSearch)):
         raise TypeError(
-            f"checkpointing supports AgingEvolution, RandomSearch and "
-            f"DistributedRL, got {type(search).__name__}")
+            f"checkpointing supports AgingEvolution, RandomSearch, "
+            f"DistributedRL and GeneticSearch, got {type(search).__name__}")
     return {"format": SEARCH_FORMAT, "version": CHECKPOINT_VERSION,
             **search.state_dict()}
 
@@ -137,6 +139,14 @@ def _build_algorithm(state: dict, space: StackedLSTMSpace):
                              n_agents=state["n_agents"],
                              workers_per_agent=state["workers_per_agent"],
                              config=PPOConfig(**state["config"]))
+    if name == "GeneticSearch":
+        config = state["config"]
+        return GeneticSearch(space, rng=0,
+                             population_size=config["population_size"],
+                             tournament_size=config["tournament_size"],
+                             crossover_rate=config["crossover_rate"],
+                             mutation_rate=config["mutation_rate"],
+                             elite=config["elite"])
     raise ValueError(f"unknown algorithm {name!r} in checkpoint")
 
 

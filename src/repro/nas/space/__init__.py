@@ -3,6 +3,8 @@
 from repro.nas.space.ops import Operation, default_operations, hybrid_operations
 from repro.nas.space.search_space import Architecture, StackedLSTMSpace
 from repro.nas.space.builder import build_network, describe_architecture
+from repro.nas.space.joint import (HyperparameterGrid, Hyperparameters,
+                                   JointArchitectureSpace)
 
 __all__ = [
     "Operation",
@@ -12,4 +14,7 @@ __all__ = [
     "StackedLSTMSpace",
     "build_network",
     "describe_architecture",
+    "Hyperparameters",
+    "HyperparameterGrid",
+    "JointArchitectureSpace",
 ]

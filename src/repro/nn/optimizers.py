@@ -93,3 +93,43 @@ class Adam(_Optimizer):
         m_hat = m / (1.0 - self.beta1 ** t)
         v_hat = v / (1.0 - self.beta2 ** t)
         param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    # -- state capture ------------------------------------------------------
+    # Moment estimates are keyed by id(param), which is not stable across
+    # processes or re-built networks, so snapshots are *positional*: the
+    # caller fixes a parameter order (model.parameters_and_gradients()) and
+    # the same order must be used on restore.
+    def capture_state(self, params) -> dict:
+        """Snapshot moment estimates for ``params`` in iteration order."""
+        params = list(params)
+        return {
+            "learning_rate": float(self.learning_rate),
+            "beta1": self.beta1, "beta2": self.beta2,
+            "epsilon": self.epsilon,
+            "m": [np.array(self._m.get(id(p), np.zeros_like(p)))
+                  for p in params],
+            "v": [np.array(self._v.get(id(p), np.zeros_like(p)))
+                  for p in params],
+            "t": [int(self._t.get(id(p), 0)) for p in params],
+        }
+
+    def restore_state(self, params, state: dict) -> None:
+        """Re-attach a :meth:`capture_state` snapshot to ``params``.
+
+        ``params`` must enumerate the (possibly re-built) parameter arrays
+        in the same order the snapshot was captured with.
+        """
+        params = list(params)
+        if len(params) != len(state["m"]):
+            raise ValueError(
+                f"snapshot covers {len(state['m'])} parameters, "
+                f"got {len(params)}")
+        self.learning_rate = float(state["learning_rate"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.epsilon = float(state["epsilon"])
+        self._m = {id(p): np.array(m, dtype=np.float64)
+                   for p, m in zip(params, state["m"])}
+        self._v = {id(p): np.array(v, dtype=np.float64)
+                   for p, v in zip(params, state["v"])}
+        self._t = {id(p): int(t) for p, t in zip(params, state["t"])}

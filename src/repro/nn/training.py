@@ -100,12 +100,23 @@ class Trainer:
 
     def fit(self, model: Network, x_train: np.ndarray, y_train: np.ndarray,
             x_val: np.ndarray | None = None, y_val: np.ndarray | None = None,
-            rng=None) -> History:
+            rng=None, *, optimizer: Adam | None = None,
+            history: History | None = None,
+            n_epochs: int | None = None) -> History:
         """Train ``model``; returns the epoch history.
 
         ``x_*``/``y_*`` are ``(n, T, F)`` windowed example tensors. If no
         validation set is given, validation entries reuse training data
         (discouraged; search rewards must be held-out, per the paper).
+
+        The keyword-only ``optimizer``/``history``/``n_epochs`` trio
+        supports *resumable* training (multi-fidelity partial training):
+        pass the optimizer and history of an earlier ``fit`` call plus the
+        epoch count still to run, and — with ``rng`` restored to the bit
+        position the earlier call left it at — the continued run is
+        bitwise-identical to one uninterrupted training. Early stopping
+        keeps per-call state (best weights / staleness), so resumed
+        training requires ``patience=None``.
         """
         x_train = np.asarray(x_train, dtype=np.float64)
         y_train = np.asarray(y_train, dtype=np.float64)
@@ -120,16 +131,28 @@ class Trainer:
         if x_val is None:
             x_val, y_val = x_train, y_train
 
+        if (optimizer is not None or history is not None) \
+                and self.patience is not None:
+            raise ValueError(
+                "resumed training (optimizer=/history=) requires "
+                "patience=None: early-stopping state is per-call and would "
+                "diverge from an uninterrupted run")
+        if n_epochs is not None and n_epochs < 0:
+            raise ValueError(f"n_epochs must be non-negative, got {n_epochs}")
+
         gen = as_generator(rng)
         loss_fn = MeanSquaredError()
-        optimizer = Adam(learning_rate=self.learning_rate)
-        history = History()
+        if optimizer is None:
+            optimizer = Adam(learning_rate=self.learning_rate)
+        if history is None:
+            history = History()
         n = x_train.shape[0]
         best_r2 = -np.inf
         best_weights: list[np.ndarray] | None = None
         stale_epochs = 0
 
-        for _ in range(self.epochs):
+        epochs = self.epochs if n_epochs is None else n_epochs
+        for _ in range(epochs):
             history.learning_rates.append(optimizer.learning_rate)
             epoch_scope = obs.scope("train/epoch")
             with epoch_scope:

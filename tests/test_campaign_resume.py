@@ -18,6 +18,7 @@ from repro.nas import (
     ArchitecturePerformanceModel,
     CheckpointPolicy,
     DistributedRL,
+    GeneticSearch,
     RandomSearch,
     SurrogateEvaluator,
 )
@@ -39,6 +40,9 @@ def make_algorithm(kind, space):
                               sample_size=3)
     if kind == "rs":
         return RandomSearch(space, rng=7)
+    if kind == "ga":
+        return GeneticSearch(space, rng=7, population_size=6,
+                             tournament_size=3, elite=2)
     return DistributedRL(space, rng=7, n_agents=2, workers_per_agent=5)
 
 
@@ -60,6 +64,12 @@ def algorithm_fingerprint(algorithm):
           "best_architecture": algorithm.best_architecture}
     if isinstance(algorithm, AgingEvolution):
         fp["population"] = list(algorithm.population)
+    if isinstance(algorithm, GeneticSearch):
+        fp["generation"] = algorithm.generation
+        fp["n_immigrants"] = algorithm.n_immigrants
+        fp["population"] = list(algorithm.population)
+        fp["results"] = list(algorithm._results)
+        fp["pending"] = list(algorithm._pending)
     if isinstance(algorithm, DistributedRL):
         fp["round_index"] = algorithm.round_index
         fp["logits"] = [[logit.tolist() for logit in agent.logits]
@@ -72,6 +82,7 @@ def algorithm_fingerprint(algorithm):
 @pytest.mark.parametrize("kind,cut", [
     ("ae", 300.0), ("ae", 700.0),
     ("rs", 250.0), ("rs", 800.0),
+    ("ga", 300.0), ("ga", 700.0),
     ("rl", 400.0), ("rl", 900.0),
 ])
 def test_interrupt_and_resume_is_bitwise_equal(kind, cut, small_space,
@@ -93,6 +104,45 @@ def test_interrupt_and_resume_is_bitwise_equal(kind, cut, small_space,
         == algorithm_fingerprint(full_alg)
     assert resumed.node_utilization() == full.node_utilization()
     assert resumed.n_failures == full.n_failures
+
+
+def test_ga_interrupt_mid_generation(small_space, evaluator, tmp_path):
+    """Cutting the GA inside a generation — partial results accumulated,
+    offspring still queued — restores the exact population, pending
+    offspring, and RNG position, so the resumed trajectory is the
+    uninterrupted one."""
+    part = make_partition("ga")
+    full_alg = make_algorithm("ga", small_space)
+    full = run_search(full_alg, evaluator, part, rng=123)
+    assert full_alg.generation >= 2  # the GA actually evolved
+
+    ckpt = tmp_path / "campaign.json"
+    cut_alg = make_algorithm("ga", small_space)
+    run_search(cut_alg, evaluator, part, rng=123, walltime=500.0,
+               checkpoint=CheckpointPolicy(ckpt))
+    # The cut must land strictly inside a generation for the test to
+    # mean anything: some results told, the generation not yet bred.
+    assert 0 < len(cut_alg._results) < cut_alg.population_size
+
+    resumed_alg, resumed = resume_search(ckpt, small_space, evaluator)
+    assert trajectory(resumed) == trajectory(full)
+    assert algorithm_fingerprint(resumed_alg) \
+        == algorithm_fingerprint(full_alg)
+
+
+def test_ga_config_mismatch_refused(small_space):
+    """A GA checkpoint only restores into a searcher with the identical
+    genetic configuration — anything else is a different experiment."""
+    from repro.nas import search_state
+    donor = make_algorithm("ga", small_space)
+    for _ in range(4):
+        donor.tell(donor.ask(), 0.5)
+    state = search_state(donor)
+    other = GeneticSearch(small_space, rng=7, population_size=9,
+                          tournament_size=3, elite=2)
+    with pytest.raises(ValueError,
+                       match="different experiment"):
+        other.load_state_dict(state)
 
 
 def test_three_allocations_equal_one(small_space, evaluator, tmp_path):

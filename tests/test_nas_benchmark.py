@@ -464,3 +464,57 @@ class TestCampaignsAndSweeps:
         mutate(report)
         with pytest.raises(ValueError, match=match):
             validate_sweep_report(report)
+
+
+# ---------------------------------------------------------------------------
+# Partial-fidelity lookups (the multi-fidelity schedulers' low rungs)
+# ---------------------------------------------------------------------------
+
+class TestPartialFidelity:
+    def test_in_table_truncation_matches_surrogate_bitwise(
+            self, small_space, model, evaluator):
+        """`evaluate_at(arch, e)` answered from the archived curve is
+        bitwise the surrogate's truncated evaluation: same quality row,
+        same two noise draws, linearly prorated cost."""
+        surrogate = SurrogateEvaluator(small_space, model)
+        for idx, epochs in ((5, 1), (123, 4), (321, 16), (42, 20)):
+            arch = small_space.from_index(idx)
+            a = evaluator.evaluate_at(arch, epochs,
+                                      np.random.default_rng(99))
+            b = surrogate.evaluate_at(arch, epochs,
+                                      np.random.default_rng(99))
+            assert a.reward == b.reward
+            assert a.duration == b.duration
+
+    def test_epoch_bounds_are_validated(self, evaluator):
+        arch = evaluator.space.from_index(0)
+        with pytest.raises(ValueError, match="epochs"):
+            evaluator.evaluate_at(arch, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="epochs"):
+            evaluator.evaluate_at(arch, 21, np.random.default_rng(0))
+
+    def test_curveless_archive_raises_typed_error(self, small_space,
+                                                  model, tmp_path):
+        """An archive built without per-epoch curves answers full-budget
+        asks normally but refuses partial-fidelity ones with
+        CurveUnavailableError — a ValueError, never a bare KeyError."""
+        from repro.nas import CurveUnavailableError
+        path = build_archive(small_space, model, tmp_path / "flat.npz",
+                             with_curves=False)
+        archive = load_archive(path)
+        assert not archive.has_curves
+        assert archive.curves.shape == (archive.n_records, 0)
+        arch = small_space.from_index(7)
+        with pytest.raises(CurveUnavailableError, match="curves"):
+            archive.curve(arch)
+        assert issubclass(CurveUnavailableError, ValueError)
+
+        flat = BenchmarkEvaluator(archive)
+        full = flat.evaluate(arch, np.random.default_rng(3))
+        assert full.reward == pytest.approx(full.reward)
+        with pytest.raises(CurveUnavailableError, match="curves"):
+            flat.evaluate_at(arch, 5, np.random.default_rng(3))
+        # Full-budget asks through evaluate_at still work curveless.
+        again = flat.evaluate_at(arch, flat.epochs,
+                                 np.random.default_rng(3))
+        assert again.reward == full.reward
